@@ -1,0 +1,116 @@
+//! Criterion benchmarks of the simulator itself: wall-time to run
+//! representative workloads under the baseline and APRES policy stacks,
+//! plus microbenchmarks of the hot substrate paths (cache access, MSHR
+//! registration, coalescing, address sampling).
+
+use apres_core::sim::{PrefetcherChoice, SchedulerChoice, Simulation};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_common::config::{CacheConfig, Replacement};
+use gpu_common::{Addr, GpuConfig, LineAddr, Pc, SmId, WarpId};
+use gpu_kernel::{AddressPattern, PatternSampler};
+use gpu_mem::cache::TagStore;
+use gpu_mem::coalesce::coalesce;
+use gpu_mem::mshr::MshrFile;
+use gpu_mem::request::MemRequest;
+use gpu_workloads::Benchmark;
+use std::hint::black_box;
+
+fn small_cfg() -> GpuConfig {
+    let mut cfg = GpuConfig::paper_baseline();
+    cfg.core.num_sms = 2;
+    cfg
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full-sim");
+    g.sample_size(10);
+    for (name, bench) in [("srad", Benchmark::Srad), ("km", Benchmark::Km)] {
+        g.bench_function(format!("{name}-baseline"), |b| {
+            b.iter(|| {
+                Simulation::new(bench.kernel_scaled(8))
+                    .config(small_cfg())
+                    .run()
+            })
+        });
+        g.bench_function(format!("{name}-apres"), |b| {
+            b.iter(|| {
+                Simulation::new(bench.kernel_scaled(8))
+                    .config(small_cfg())
+                    .scheduler(SchedulerChoice::Laws)
+                    .prefetcher(PrefetcherChoice::Sap)
+                    .run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+
+    let l1_cfg = CacheConfig {
+        capacity_bytes: 32 * 1024,
+        ways: 8,
+        line_bytes: 128,
+        mshrs: 64,
+        mshr_merge_slots: 8,
+        hit_latency: 28,
+        replacement: Replacement::Lru,
+        bypass: false,
+    };
+    g.bench_function("tagstore-touch-fill", |b| {
+        let mut tags = TagStore::new(&l1_cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(97);
+            let line = LineAddr(i % 1024);
+            if !tags.touch(black_box(line)) {
+                tags.fill(line, false, i);
+            }
+        })
+    });
+
+    g.bench_function("mshr-register-complete", |b| {
+        let mut mshrs = MshrFile::new(64, 8);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let line = LineAddr(i % 48);
+            let req = MemRequest::load(line, SmId(0), WarpId((i % 48) as u32), Pc(0x10), 0, i, i);
+            mshrs.register(black_box(req));
+            if i.is_multiple_of(3) {
+                mshrs.complete(line);
+            }
+        })
+    });
+
+    g.bench_function("coalesce-32-lanes", |b| {
+        let addrs: Vec<Addr> = (0..32).map(|l| Addr::new(l * 136)).collect();
+        b.iter(|| coalesce(black_box(&addrs), 128))
+    });
+
+    g.bench_function("pattern-sample-strided", |b| {
+        let s = PatternSampler::new(7, 32);
+        let p = AddressPattern::warp_strided(0, 4352, 0, 136).with_wrap(2 << 20);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            s.addresses(black_box(&p), 0, (i % 48) as u32, i, 32)
+        })
+    });
+
+    g.bench_function("pattern-sample-irregular", |b| {
+        let s = PatternSampler::new(7, 32);
+        let p = AddressPattern::irregular(0, 1 << 22, 1 << 16, 0.8);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            s.addresses(black_box(&p), 0, (i % 48) as u32, i, 16)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_runs, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Sensitivity/ablation study of APRES's design parameters (the design
+//! choices DESIGN.md calls out):
+//!
+//! * **WGT entries** — how many in-flight load groups LAWS tracks. The
+//!   paper sizes it to its 3-stage pipeline; this simulator needs ~12 to
+//!   cover the LSU queue. The sweep shows the cliff.
+//! * **SAP PT entries** — how many static loads SAP can track (paper: 10).
+//! * **Per-miss prefetch budget** — how many group members SAP prefetches.
+//!
+//! Run on a strided workload (LUD) where SAP is the dominant effect.
+//!
+//! ```text
+//! cargo run --release -p apres-bench --bin ablation_apres [--fast]
+//! ```
+
+use apres_bench::{print_table, Scale};
+use apres_core::sim::Simulation;
+use gpu_common::config::ApresConfig;
+use gpu_workloads::Benchmark;
+
+fn run_with(cfg_apres: ApresConfig, scale: Scale) -> gpu_sm::RunResult {
+    let mut cfg = scale.config();
+    cfg.apres = cfg_apres;
+    Simulation::new(Benchmark::Lud.kernel_scaled(scale.iterations(Benchmark::Lud)))
+        .config(cfg)
+        .apres()
+        .run()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let base = run_with(ApresConfig::default(), scale);
+    println!("APRES design-parameter ablation on LUD (IPC relative to the default config)\n");
+
+    let mut rows = Vec::new();
+    for wgt in [1usize, 3, 6, 12, 24] {
+        let r = run_with(
+            ApresConfig {
+                wgt_entries: wgt,
+                ..ApresConfig::default()
+            },
+            scale,
+        );
+        rows.push(vec![
+            format!("WGT entries = {wgt}"),
+            format!("{:.3}", r.ipc() / base.ipc()),
+            format!("{}", r.prefetch.issued),
+            format!("{:.2}", r.l1.miss_rate()),
+        ]);
+    }
+    for pt in [1usize, 4, 10, 32] {
+        let r = run_with(
+            ApresConfig {
+                pt_entries: pt,
+                ..ApresConfig::default()
+            },
+            scale,
+        );
+        rows.push(vec![
+            format!("PT entries = {pt}"),
+            format!("{:.3}", r.ipc() / base.ipc()),
+            format!("{}", r.prefetch.issued),
+            format!("{:.2}", r.l1.miss_rate()),
+        ]);
+    }
+    for budget in [2usize, 8, 16, 47] {
+        let r = run_with(
+            ApresConfig {
+                max_prefetches_per_miss: budget,
+                ..ApresConfig::default()
+            },
+            scale,
+        );
+        rows.push(vec![
+            format!("prefetch budget = {budget}"),
+            format!("{:.3}", r.ipc() / base.ipc()),
+            format!("{}", r.prefetch.issued),
+            format!("{:.2}", r.l1.miss_rate()),
+        ]);
+    }
+    print_table(&["config", "rel IPC", "pf issued", "L1 miss"], &rows);
+}

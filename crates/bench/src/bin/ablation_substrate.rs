@@ -1,0 +1,68 @@
+//! Ablation of substrate modelling choices (documented in DESIGN.md):
+//!
+//! * **L1 replacement policy** — LRU (baseline) vs FIFO vs MRU, on the
+//!   cyclically-thrashing KM workload where the choice matters most;
+//! * **DRAM service model** — uniform flat-latency (paper pipeline) vs
+//!   banked row buffers with FR-FCFS, showing how row locality shifts
+//!   absolute numbers while policy *ordering* is preserved.
+//!
+//! ```text
+//! cargo run --release -p apres-bench --bin ablation_substrate [--fast]
+//! ```
+
+use apres_bench::{print_table, Scale, APRES, BASELINE};
+use apres_core::sim::Simulation;
+use gpu_common::config::{DramRowPolicy, GpuConfig, Replacement};
+use gpu_workloads::Benchmark;
+
+fn run(bench: Benchmark, cfg: &GpuConfig, apres: bool, scale: Scale) -> gpu_sm::RunResult {
+    let sim = Simulation::new(bench.kernel_scaled(scale.iterations(bench))).config(cfg.clone());
+    let sim = if apres {
+        sim.apres()
+    } else {
+        sim.scheduler(BASELINE.sched).prefetcher(BASELINE.pf)
+    };
+    sim.run()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let _ = APRES; // combos documented above
+
+    println!("Substrate ablation 1 — L1 replacement policy on KM (cyclic thrash)\n");
+    let mut rows = Vec::new();
+    for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Mru] {
+        let mut cfg = scale.config();
+        cfg.l1.replacement = policy;
+        let b = run(Benchmark::Km, &cfg, false, scale);
+        let a = run(Benchmark::Km, &cfg, true, scale);
+        rows.push(vec![
+            format!("{policy:?}"),
+            format!("{:.3}", b.ipc()),
+            format!("{:.2}", b.l1.miss_rate()),
+            format!("{:.3}", a.speedup_over(&b)),
+        ]);
+    }
+    print_table(&["L1 policy", "base IPC", "base miss", "APRES speedup"], &rows);
+
+    println!("\nSubstrate ablation 2 — DRAM service model (SRAD + LUD)\n");
+    let mut rows = Vec::new();
+    for bench in [Benchmark::Srad, Benchmark::Lud] {
+        for policy in [DramRowPolicy::Uniform, DramRowPolicy::FrFcfsRowBuffer] {
+            let mut cfg = scale.config();
+            cfg.dram.row_policy = policy;
+            let b = run(bench, &cfg, false, scale);
+            let a = run(bench, &cfg, true, scale);
+            rows.push(vec![
+                format!("{} / {policy:?}", bench.label()),
+                format!("{:.3}", b.ipc()),
+                format!("{:.0}", b.mem.avg_load_latency()),
+                format!("{:.3}", a.speedup_over(&b)),
+            ]);
+        }
+    }
+    print_table(
+        &["bench / DRAM model", "base IPC", "base latency", "APRES speedup"],
+        &rows,
+    );
+}

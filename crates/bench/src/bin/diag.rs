@@ -1,0 +1,48 @@
+//! Deep-dive diagnostics for one benchmark (not a paper exhibit).
+
+use apres_bench::{run, Combo, Scale};
+
+use apres_core::sim::{PrefetcherChoice, SchedulerChoice};
+use gpu_workloads::Benchmark;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "SRAD".into());
+    let scale = Scale::from_args();
+    let bench = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.label() == name)
+        .expect("unknown benchmark");
+    let combos = [
+        Combo::new(SchedulerChoice::Lrr, PrefetcherChoice::None),
+        Combo::new(SchedulerChoice::Lrr, PrefetcherChoice::Str),
+        Combo::new(SchedulerChoice::Ccws, PrefetcherChoice::Str),
+        Combo::new(SchedulerChoice::Laws, PrefetcherChoice::None),
+        Combo::new(SchedulerChoice::Laws, PrefetcherChoice::Str),
+        Combo::new(SchedulerChoice::Laws, PrefetcherChoice::Sap),
+    ];
+    println!(
+        "{:<10} {:>9} {:>6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8} {:>9}",
+        "combo", "cycles", "ipc", "miss", "pf_iss", "pf_use", "pf_late", "pf_early",
+        "pf_usls", "avg_lat", "st_lsu", "st_dep", "mshr_rej"
+    );
+    for c in combos {
+        let r = run(bench, c, scale);
+        println!(
+            "{:<10} {:>9} {:>6.3} {:>6.2} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9.1} {:>8} {:>8} {:>9}{}",
+            c.label(),
+            r.cycles,
+            r.ipc(),
+            r.l1.miss_rate(),
+            r.prefetch.issued,
+            r.prefetch.useful,
+            r.prefetch.late_merged,
+            r.prefetch.early_evictions,
+            r.prefetch.useless_evictions,
+            r.mem.avg_load_latency(),
+            r.sim.stall_lsu_full,
+            r.sim.stall_dependency,
+            r.l1.reservation_fails,
+            if r.timed_out { " TIMEOUT" } else { "" },
+        );
+    }
+}

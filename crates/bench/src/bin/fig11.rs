@@ -1,0 +1,49 @@
+//! Figure 11 — L1 hit/miss breakdown (hit-after-hit, hit-after-miss, cold
+//! miss, capacity+conflict miss) for Baseline (B), CCWS (C), LAWS (L),
+//! CCWS+STR (S), and APRES (A).
+
+use apres_bench::{print_table, run, Combo, Scale, APRES, BASELINE, CCWS_STR};
+use apres_core::sim::{PrefetcherChoice, SchedulerChoice};
+use gpu_sm::RunResult;
+use gpu_workloads::Benchmark;
+
+fn breakdown(r: &RunResult) -> [f64; 4] {
+    let t = r.l1.accesses.max(1) as f64;
+    [
+        r.l1.hit_after_hit as f64 / t,
+        r.l1.hit_after_miss as f64 / t,
+        r.l1.cold_misses as f64 / t,
+        r.l1.capacity_conflict_misses as f64 / t,
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let combos = [
+        ("B", BASELINE),
+        ("C", Combo::new(SchedulerChoice::Ccws, PrefetcherChoice::None)),
+        ("L", Combo::new(SchedulerChoice::Laws, PrefetcherChoice::None)),
+        ("S", CCWS_STR),
+        ("A", APRES),
+    ];
+    println!("Figure 11 — L1 breakdown per access: hit-after-hit / hit-after-miss / cold / cap+conf\n");
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        for (tag, c) in &combos {
+            let r = run(b, *c, scale);
+            let [hh, hm, cold, cc] = breakdown(&r);
+            rows.push(vec![
+                format!("{} ({tag})", b.label()),
+                format!("{hh:.3}"),
+                format!("{hm:.3}"),
+                format!("{cold:.3}"),
+                format!("{cc:.3}"),
+                format!("{:.3}", hh + hm),
+            ]);
+        }
+    }
+    print_table(
+        &["App", "hit-after-hit", "hit-after-miss", "cold", "cap+conf", "total-hit"],
+        &rows,
+    );
+}

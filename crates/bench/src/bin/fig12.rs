@@ -1,0 +1,33 @@
+//! Figure 12 — early-eviction ratio: CCWS+STR vs APRES.
+
+use apres_bench::{mean, print_table, run, Scale, APRES, CCWS_STR};
+use gpu_workloads::Benchmark;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 12 — early eviction ratio, CCWS+STR vs APRES\n");
+    let mut rows = Vec::new();
+    let (mut s_all, mut a_all) = (Vec::new(), Vec::new());
+    for b in Benchmark::ALL {
+        let s = run(b, CCWS_STR, scale);
+        let a = run(b, APRES, scale);
+        let (se, ae) = (
+            s.prefetch.early_eviction_ratio(),
+            a.prefetch.early_eviction_ratio(),
+        );
+        s_all.push(se);
+        a_all.push(ae);
+        rows.push(vec![
+            b.label().to_owned(),
+            format!("{se:.3}"),
+            format!("{ae:.3}"),
+        ]);
+    }
+    rows.push(vec![
+        "AVG".to_owned(),
+        format!("{:.3}", mean(&s_all)),
+        format!("{:.3}", mean(&a_all)),
+    ]);
+    print_table(&["App", "CCWS+STR", "APRES"], &rows);
+    apres_bench::maybe_write_csv("fig12", &["App", "CCWS+STR", "APRES"], &rows);
+}

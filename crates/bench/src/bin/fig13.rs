@@ -1,0 +1,38 @@
+//! Figure 13 — average memory latency of baseline, CCWS+STR and APRES,
+//! normalized to the baseline.
+
+use apres_bench::{mean, print_table, run, Scale, APRES, BASELINE, CCWS_STR};
+use gpu_workloads::Benchmark;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 13 — average memory latency normalized to baseline\n");
+    let mut rows = Vec::new();
+    let (mut s_all, mut a_all) = (Vec::new(), Vec::new());
+    for b in Benchmark::ALL {
+        let base = run(b, BASELINE, scale);
+        let s = run(b, CCWS_STR, scale);
+        let a = run(b, APRES, scale);
+        let norm = |r: &gpu_sm::RunResult| {
+            let b = base.mem.avg_load_latency();
+            if b == 0.0 { 0.0 } else { r.mem.avg_load_latency() / b }
+        };
+        let (sn, an) = (norm(&s), norm(&a));
+        s_all.push(sn);
+        a_all.push(an);
+        rows.push(vec![
+            b.label().to_owned(),
+            format!("{:.0}", base.mem.avg_load_latency()),
+            format!("{sn:.3}"),
+            format!("{an:.3}"),
+        ]);
+    }
+    rows.push(vec![
+        "AVG".to_owned(),
+        "-".to_owned(),
+        format!("{:.3}", mean(&s_all)),
+        format!("{:.3}", mean(&a_all)),
+    ]);
+    print_table(&["App", "Base(cyc)", "CCWS+STR", "APRES"], &rows);
+    apres_bench::maybe_write_csv("fig13", &["App", "Base(cyc)", "CCWS+STR", "APRES"], &rows);
+}

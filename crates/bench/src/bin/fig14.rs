@@ -1,0 +1,38 @@
+//! Figure 14 — data traffic (bytes moved from memory to SM), normalized to
+//! the baseline.
+
+use apres_bench::{mean, print_table, run, Scale, APRES, BASELINE, CCWS_STR};
+use gpu_workloads::Benchmark;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 14 — memory→SM data traffic normalized to baseline\n");
+    let mut rows = Vec::new();
+    let (mut s_all, mut a_all) = (Vec::new(), Vec::new());
+    for b in Benchmark::ALL {
+        let base = run(b, BASELINE, scale);
+        let s = run(b, CCWS_STR, scale);
+        let a = run(b, APRES, scale);
+        let norm = |r: &gpu_sm::RunResult| {
+            let bb = base.mem.bytes_to_sm.max(1) as f64;
+            r.mem.bytes_to_sm as f64 / bb
+        };
+        let (sn, an) = (norm(&s), norm(&a));
+        s_all.push(sn);
+        a_all.push(an);
+        rows.push(vec![
+            b.label().to_owned(),
+            format!("{}", base.mem.bytes_to_sm),
+            format!("{sn:.3}"),
+            format!("{an:.3}"),
+        ]);
+    }
+    rows.push(vec![
+        "AVG".to_owned(),
+        "-".to_owned(),
+        format!("{:.3}", mean(&s_all)),
+        format!("{:.3}", mean(&a_all)),
+    ]);
+    print_table(&["App", "Base(bytes)", "CCWS+STR", "APRES"], &rows);
+    apres_bench::maybe_write_csv("fig14", &["App", "Base(bytes)", "CCWS+STR", "APRES"], &rows);
+}

@@ -1,0 +1,38 @@
+//! Figure 15 — dynamic energy consumption normalized to the baseline
+//! (GPUWattch-style event-energy model; APRES table energy included).
+
+use apres_bench::{mean, print_table, run, Scale, APRES, BASELINE, CCWS_STR};
+use apres_core::energy::EnergyModel;
+use gpu_workloads::Benchmark;
+
+fn main() {
+    let scale = Scale::from_args();
+    let model = EnergyModel::new();
+    let sms = scale.config().core.num_sms;
+    println!("Figure 15 — dynamic energy normalized to baseline\n");
+    let mut rows = Vec::new();
+    let (mut s_all, mut a_all) = (Vec::new(), Vec::new());
+    for b in Benchmark::ALL {
+        let base = run(b, BASELINE, scale);
+        let s = run(b, CCWS_STR, scale);
+        let a = run(b, APRES, scale);
+        let sn = model.normalized(&s, &base, sms);
+        let an = model.normalized(&a, &base, sms);
+        s_all.push(sn);
+        a_all.push(an);
+        rows.push(vec![
+            b.label().to_owned(),
+            format!("{sn:.3}"),
+            format!("{an:.3}"),
+            format!("{:.2}%", model.apres_overhead_fraction(&a, sms) * 100.0),
+        ]);
+    }
+    rows.push(vec![
+        "AVG".to_owned(),
+        format!("{:.3}", mean(&s_all)),
+        format!("{:.3}", mean(&a_all)),
+        "-".to_owned(),
+    ]);
+    print_table(&["App", "CCWS+STR", "APRES", "APRES-tbl-energy"], &rows);
+    apres_bench::maybe_write_csv("fig15", &["App", "CCWS+STR", "APRES", "APRES-tbl-energy"], &rows);
+}

@@ -1,0 +1,48 @@
+//! Figure 2 — L1 miss breakdown with the baseline 32 KB L1 (B) and a
+//! hypothetical 32 MB L1 (C), plus the large-cache speedup in parentheses.
+
+use apres_bench::{print_table, run_with_config, Scale, BASELINE};
+use gpu_common::GpuConfig;
+use gpu_workloads::Benchmark;
+
+fn main() {
+    let scale = Scale::from_args();
+    let base_cfg = {
+        let mut c = scale.config();
+        c.l1 = GpuConfig::paper_baseline().l1;
+        c
+    };
+    let huge_cfg = {
+        let mut c = base_cfg.clone();
+        c.l1.capacity_bytes = 32 * 1024 * 1024;
+        c
+    };
+    println!("Figure 2 — L1 miss breakdown, 32KB (B) vs 32MB (C) L1\n");
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let small = run_with_config(b, BASELINE, scale, &base_cfg);
+        let huge = run_with_config(b, BASELINE, scale, &huge_cfg);
+        let total = |r: &gpu_sm::RunResult| r.l1.accesses.max(1) as f64;
+        rows.push(vec![
+            b.label().to_owned(),
+            format!("{:.2}", small.l1.miss_rate()),
+            format!("{:.2}", small.l1.cold_misses as f64 / total(&small)),
+            format!("{:.2}", small.l1.capacity_conflict_misses as f64 / total(&small)),
+            format!("{:.2}", huge.l1.miss_rate()),
+            format!("{:.2}", huge.l1.cold_misses as f64 / total(&huge)),
+            format!("{:.2}", huge.l1.capacity_conflict_misses as f64 / total(&huge)),
+            format!("({:.2})", huge.speedup_over(&small)),
+        ]);
+    }
+    print_table(
+        &[
+            "App", "B:miss", "B:cold", "B:cap+conf", "C:miss", "C:cold", "C:cap+conf",
+            "C speedup",
+        ],
+        &rows,
+    );
+    apres_bench::maybe_write_csv("fig2", &[
+            "App", "B:miss", "B:cold", "B:cap+conf", "C:miss", "C:cold", "C:cap+conf",
+            "C speedup",
+        ], &rows);
+}

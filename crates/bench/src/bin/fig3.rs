@@ -1,0 +1,47 @@
+//! Figure 3 — relative performance of scheduling × prefetching
+//! combinations, normalized to the baseline (LRR, no prefetching).
+
+use apres_bench::{geomean, print_table, run, Combo, Scale, BASELINE};
+use apres_core::sim::{PrefetcherChoice, SchedulerChoice};
+use gpu_workloads::Benchmark;
+
+fn main() {
+    let scale = Scale::from_args();
+    let combos: Vec<Combo> = [
+        SchedulerChoice::Pa,
+        SchedulerChoice::Gto,
+        SchedulerChoice::Mascar,
+        SchedulerChoice::Ccws,
+    ]
+    .into_iter()
+    .flat_map(|s| {
+        [
+            Combo::new(s, PrefetcherChoice::Str),
+            Combo::new(s, PrefetcherChoice::Sld),
+        ]
+    })
+    .collect();
+
+    println!("Figure 3 — speedup of scheduler × prefetcher combos over baseline\n");
+    let mut headers = vec!["App"];
+    let labels: Vec<String> = combos.iter().map(Combo::label).collect();
+    headers.extend(labels.iter().map(String::as_str));
+    let mut rows = Vec::new();
+    let mut per_combo: Vec<Vec<f64>> = vec![Vec::new(); combos.len()];
+    for b in Benchmark::ALL {
+        let base = run(b, BASELINE, scale);
+        let mut row = vec![b.label().to_owned()];
+        for (i, c) in combos.iter().enumerate() {
+            let r = run(b, *c, scale);
+            let s = r.speedup_over(&base);
+            per_combo[i].push(s);
+            row.push(format!("{s:.3}"));
+        }
+        rows.push(row);
+    }
+    let mut gm = vec!["GMEAN".to_owned()];
+    gm.extend(per_combo.iter().map(|v| format!("{:.3}", geomean(v))));
+    rows.push(gm);
+    print_table(&headers, &rows);
+    apres_bench::maybe_write_csv("fig3", &headers, &rows);
+}

@@ -1,0 +1,38 @@
+//! Figure 4 — early-eviction ratio of the STR prefetcher under four warp
+//! schedulers (fraction of correctly predicted prefetched lines evicted
+//! before their demand access).
+
+use apres_bench::{mean, print_table, run, Combo, Scale};
+use apres_core::sim::{PrefetcherChoice, SchedulerChoice};
+use gpu_workloads::Benchmark;
+
+fn main() {
+    let scale = Scale::from_args();
+    let scheds = [
+        SchedulerChoice::Pa,
+        SchedulerChoice::Gto,
+        SchedulerChoice::Mascar,
+        SchedulerChoice::Ccws,
+    ];
+    println!("Figure 4 — early eviction ratio of STR prefetching\n");
+    let mut headers = vec!["App"];
+    let labels: Vec<String> = scheds.iter().map(|s| format!("{}+STR", s.label())).collect();
+    headers.extend(labels.iter().map(String::as_str));
+    let mut rows = Vec::new();
+    let mut per_sched: Vec<Vec<f64>> = vec![Vec::new(); scheds.len()];
+    for b in Benchmark::ALL {
+        let mut row = vec![b.label().to_owned()];
+        for (i, s) in scheds.iter().enumerate() {
+            let r = run(b, Combo::new(*s, PrefetcherChoice::Str), scale);
+            let e = r.prefetch.early_eviction_ratio();
+            per_sched[i].push(e);
+            row.push(format!("{:.3}", e));
+        }
+        rows.push(row);
+    }
+    let mut avg = vec!["AVG".to_owned()];
+    avg.extend(per_sched.iter().map(|v| format!("{:.3}", mean(v))));
+    rows.push(avg);
+    print_table(&headers, &rows);
+    apres_bench::maybe_write_csv("fig4", &headers, &rows);
+}

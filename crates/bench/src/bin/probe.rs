@@ -1,0 +1,37 @@
+//! Timing/shape probe: runs each benchmark under baseline and APRES at
+//! paper scale and prints cycles, IPC, miss rate and wall time. Used to
+//! validate scale choices; not part of the paper's exhibits.
+
+use apres_bench::{run, Scale, APRES, BASELINE};
+use gpu_workloads::Benchmark;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!(
+        "{:<6} {:>10} {:>7} {:>6} {:>7} | {:>10} {:>7} {:>8} {:>7}",
+        "bench", "base_cyc", "ipc", "miss", "sec", "apres_cyc", "ipc", "speedup", "sec"
+    );
+    for b in Benchmark::ALL {
+        let t0 = Instant::now();
+        let base = run(b, BASELINE, scale);
+        let t1 = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let apres = run(b, APRES, scale);
+        let t2 = t0.elapsed().as_secs_f64();
+        println!(
+            "{:<6} {:>10} {:>7.3} {:>6.2} {:>7.2} | {:>10} {:>7.3} {:>8.3} {:>7.2}{}{}",
+            b.label(),
+            base.cycles,
+            base.ipc(),
+            base.l1.miss_rate(),
+            t1,
+            apres.cycles,
+            apres.ipc(),
+            apres.speedup_over(&base),
+            t2,
+            if base.timed_out { " BASE-TIMEOUT" } else { "" },
+            if apres.timed_out { " APRES-TIMEOUT" } else { "" },
+        );
+    }
+}

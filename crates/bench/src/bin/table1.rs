@@ -1,0 +1,35 @@
+//! Table I — characteristics of frequently executed loads.
+//!
+//! Prints, for the memory-intensive applications, each static load's share
+//! of references (%Load), inter-warp reuse (#L/#R), baseline L1 miss rate,
+//! dominant inter-warp stride and the fraction of accesses following it
+//! (%Stride). Compare against the paper's Table I.
+
+use apres_bench::print_table;
+use gpu_common::GpuConfig;
+use gpu_workloads::{characterize, Benchmark};
+
+fn main() {
+    let cfg = GpuConfig::paper_baseline();
+    println!("Table I — characteristics of frequently executed loads (top 3 per app)\n");
+    let mut rows = Vec::new();
+    for b in Benchmark::MEMORY_INTENSIVE {
+        let profiles = characterize(&b.kernel(), &cfg, None);
+        for p in profiles.iter().take(3) {
+            rows.push(vec![
+                b.label().to_owned(),
+                format!("{}", p.pc),
+                format!("{:.1}%", p.pct_load * 100.0),
+                format!("{:.2}", p.lines_per_ref),
+                format!("{:.2}", p.miss_rate),
+                format!("{}", p.stride),
+                format!("{:.1}%", p.pct_stride * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        &["App", "PC", "%Load", "#L/#R", "MissRate", "Stride", "%Stride"],
+        &rows,
+    );
+    apres_bench::maybe_write_csv("table1", &["App", "PC", "%Load", "#L/#R", "MissRate", "Stride", "%Stride"], &rows);
+}

@@ -1,0 +1,251 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each `fig*`/`table*` binary in `src/bin/` prints the rows of one exhibit:
+//!
+//! | Binary   | Exhibit | Contents |
+//! |----------|---------|----------|
+//! | `table1` | Table I  | per-load %Load, #L/#R, miss, stride, %Stride |
+//! | `fig2`   | Fig. 2   | L1 miss breakdown, 32 KB vs 32 MB L1, speedup |
+//! | `fig3`   | Fig. 3   | scheduler × prefetcher speedups |
+//! | `fig4`   | Fig. 4   | early-eviction ratio of STR under 4 schedulers |
+//! | `table2` | Table II | APRES hardware cost |
+//! | `table3` | Table III| simulated configuration |
+//! | `fig10`  | Fig. 10  | IPC of CCWS/LAWS/CCWS+STR/LAWS+STR/APRES |
+//! | `fig11`  | Fig. 11  | cache hit/miss breakdown (B/C/L/S/A) |
+//! | `fig12`  | Fig. 12  | early eviction, CCWS+STR vs APRES |
+//! | `fig13`  | Fig. 13  | average memory latency |
+//! | `fig14`  | Fig. 14  | data traffic |
+//! | `fig15`  | Fig. 15  | normalized dynamic energy |
+//!
+//! Pass `--fast` to any binary for a reduced scale (fewer SMs/iterations;
+//! same qualitative shape, minutes → seconds). The `criterion` benches in
+//! `benches/` measure simulator throughput itself.
+
+use apres_core::sim::{PrefetcherChoice, SchedulerChoice, Simulation};
+use gpu_common::config::GpuConfig;
+use gpu_sm::RunResult;
+use gpu_workloads::Benchmark;
+
+/// One (scheduler, prefetcher) combination with a figure-style label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Combo {
+    /// Scheduler half.
+    pub sched: SchedulerChoice,
+    /// Prefetcher half.
+    pub pf: PrefetcherChoice,
+}
+
+impl Combo {
+    /// Builds a combo.
+    pub const fn new(sched: SchedulerChoice, pf: PrefetcherChoice) -> Self {
+        Combo { sched, pf }
+    }
+
+    /// `"CCWS+STR"`-style label; bare scheduler name when no prefetcher.
+    pub fn label(&self) -> String {
+        match self.pf {
+            PrefetcherChoice::None => self.sched.label().to_owned(),
+            _ => format!("{}+{}", self.sched.label(), self.pf.label()),
+        }
+    }
+}
+
+/// The paper's baseline: LRR without prefetching.
+pub const BASELINE: Combo = Combo::new(SchedulerChoice::Lrr, PrefetcherChoice::None);
+/// APRES: LAWS + SAP.
+pub const APRES: Combo = Combo::new(SchedulerChoice::Laws, PrefetcherChoice::Sap);
+/// The strongest existing combination per Section III-C.
+pub const CCWS_STR: Combo = Combo::new(SchedulerChoice::Ccws, PrefetcherChoice::Str);
+
+/// Evaluation scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Table III configuration (15 SMs, default iterations).
+    Paper,
+    /// Reduced scale for quick runs (4 SMs, fewer iterations).
+    Fast,
+}
+
+impl Scale {
+    /// Reads `--fast` from the process arguments.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--fast") {
+            Scale::Fast
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// GPU configuration at this scale.
+    pub fn config(self) -> GpuConfig {
+        match self {
+            Scale::Paper => GpuConfig::paper_baseline(),
+            Scale::Fast => {
+                let mut cfg = GpuConfig::paper_baseline();
+                cfg.core.num_sms = 4;
+                cfg
+            }
+        }
+    }
+
+    /// Iteration count for `bench` at this scale.
+    pub fn iterations(self, bench: Benchmark) -> u64 {
+        match self {
+            Scale::Paper => bench.default_iterations(),
+            Scale::Fast => (bench.default_iterations() / 2).max(8),
+        }
+    }
+}
+
+/// Runs one benchmark under one policy combination.
+pub fn run(bench: Benchmark, combo: Combo, scale: Scale) -> RunResult {
+    run_with_config(bench, combo, scale, &scale.config())
+}
+
+/// Runs with an explicit GPU configuration (Fig. 2 uses a 32 MB L1).
+pub fn run_with_config(
+    bench: Benchmark,
+    combo: Combo,
+    scale: Scale,
+    cfg: &GpuConfig,
+) -> RunResult {
+    Simulation::new(bench.kernel_scaled(scale.iterations(bench)))
+        .config(cfg.clone())
+        .scheduler(combo.sched)
+        .prefetcher(combo.pf)
+        .run()
+}
+
+/// Geometric mean of positive values (the paper averages speedups this
+/// way); zero if empty.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean; zero if empty.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Serialises a table as CSV (quoting cells that contain commas).
+pub fn csv_string(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let quote = |c: &str| {
+        if c.contains(',') || c.contains('"') {
+            format!("\"{}\"", c.replace('"', "\"\""))
+        } else {
+            c.to_owned()
+        }
+    };
+    let mut out = headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the table to `<name>.csv` when the process was invoked with
+/// `--csv <dir>` (exhibit binaries call this after printing).
+pub fn maybe_write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--csv" {
+            let dir = args.next().unwrap_or_else(|| ".".into());
+            let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+            if let Err(e) = std::fs::write(&path, csv_string(headers, rows)) {
+                eprintln!("failed to write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+            return;
+        }
+    }
+}
+
+/// Prints a fixed-width table: a header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{:<w$}", c, w = widths[i]));
+            } else {
+                s.push_str(&format!("  {:>w$}", c, w = widths[i]));
+            }
+        }
+        s
+    };
+    println!("{}", line(headers.iter().map(|h| h.to_string()).collect()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combo_labels() {
+        assert_eq!(BASELINE.label(), "LRR");
+        assert_eq!(APRES.label(), "LAWS+SAP");
+        assert_eq!(CCWS_STR.label(), "CCWS+STR");
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn fast_scale_shrinks() {
+        let fast = Scale::Fast.config();
+        assert!(fast.core.num_sms < Scale::Paper.config().core.num_sms);
+        assert!(Scale::Fast.iterations(Benchmark::Km) <= Benchmark::Km.default_iterations());
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let csv = csv_string(
+            &["a", "b"],
+            &[vec!["x,y".into(), "plain".into()], vec!["q\"q".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "\"x,y\",plain");
+        assert_eq!(lines[2], "\"q\"\"q\",2");
+    }
+
+    #[test]
+    fn fast_run_completes() {
+        let r = run(Benchmark::Hs, BASELINE, Scale::Fast);
+        assert!(!r.timed_out);
+        assert!(r.ipc() > 0.0);
+    }
+}

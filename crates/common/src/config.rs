@@ -1,0 +1,402 @@
+//! Configuration of the simulated GPU.
+//!
+//! The hierarchy mirrors Table III of the paper; [`GpuConfig::paper_baseline`]
+//! reproduces it exactly (15 SMs, 48 warps/SM, 32 KB 8-way L1 with 64 MSHRs,
+//! 768 KB 8-way L2 at 200 cycles, 6 DRAM partitions at 440 cycles).
+
+/// Replacement policy of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// True least-recently-used (the baseline; GPGPU-sim's L1 default).
+    #[default]
+    Lru,
+    /// First-in-first-out (victim = oldest fill).
+    Fifo,
+    /// Most-recently-used (anti-thrashing for cyclic sweeps).
+    Mru,
+}
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Number of Miss Status Holding Registers.
+    pub mshrs: usize,
+    /// Maximum demand/prefetch merges per MSHR entry.
+    pub mshr_merge_slots: usize,
+    /// Access (hit) latency in cycles.
+    pub hit_latency: u64,
+    /// Victim selection policy.
+    pub replacement: Replacement,
+    /// Enable the per-PC bypass predictor on this cache (extension;
+    /// meaningful for the L1 only).
+    pub bypass: bool,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by capacity, associativity and line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or the set count is not
+    /// a power of two.
+    pub fn num_sets(&self) -> usize {
+        let lines = self.capacity_bytes / self.line_bytes;
+        assert_eq!(
+            lines % self.ways as u64,
+            0,
+            "cache lines must divide evenly into ways"
+        );
+        let sets = (lines / self.ways as u64) as usize;
+        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        sets
+    }
+
+    /// Total number of cache lines.
+    pub fn num_lines(&self) -> usize {
+        (self.capacity_bytes / self.line_bytes) as usize
+    }
+}
+
+/// DRAM service-timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DramRowPolicy {
+    /// Every access takes the configured latency and occupancy (the
+    /// paper-pipeline default; matches GPGPU-sim's flat-latency abstraction
+    /// at Table III granularity).
+    #[default]
+    Uniform,
+    /// Banked row buffers with FR-FCFS scheduling: row hits are faster and
+    /// cheaper, row misses pay precharge+activate. An extension used by the
+    /// `dram_ablation` study.
+    FrFcfsRowBuffer,
+}
+
+/// DRAM timing and topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of memory partitions (each pairs an L2 slice with a DRAM channel).
+    pub partitions: usize,
+    /// Minimum (unloaded) access latency in core cycles.
+    pub latency: u64,
+    /// Core cycles between successive line transfers per partition
+    /// (models per-partition bandwidth; 1 line each `service_interval` cycles).
+    pub service_interval: u64,
+    /// Maximum queued requests per partition before back-pressure.
+    pub queue_depth: usize,
+    /// Bytes interleaved across partitions (address hashing granularity).
+    pub interleave_bytes: u64,
+    /// Service-timing model.
+    pub row_policy: DramRowPolicy,
+}
+
+/// Core pipeline parameters of one SM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Maximum concurrently active warps per SM.
+    pub warps_per_sm: usize,
+    /// Threads per warp (SIMD width).
+    pub warp_size: usize,
+    /// Register read-after-write latency for ALU producers, in cycles.
+    /// The paper assumes 8 cycles (Section IV).
+    pub alu_latency: u64,
+    /// Number of instructions issued per SM per cycle.
+    pub issue_width: usize,
+    /// Depth of the issue→execute pipeline segment; sizes the Warp Group
+    /// Table (the paper uses 3).
+    pub issue_to_execute_stages: usize,
+    /// Cycles between successive warp launches on one SM. Real GPUs hand
+    /// thread blocks to SMs over time, so resident warps are skewed in
+    /// their progress rather than lock-stepped; this is the drift that
+    /// locality-aware scheduling regathers (Section IV's premise).
+    pub launch_skew: u64,
+    /// Thread-block waves per warp slot: when a warp retires, the block
+    /// scheduler hands the slot a fresh block (with fresh data) this many
+    /// times in total. Values > 1 amortize the end-of-kernel tail exactly
+    /// as a real grid (thousands of blocks) does.
+    pub waves_per_slot: u32,
+}
+
+/// Interconnect between SMs and the shared L2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocConfig {
+    /// One-way latency in cycles.
+    pub latency: u64,
+    /// Requests accepted from each SM per cycle.
+    pub requests_per_cycle: usize,
+}
+
+/// APRES structure sizes (LAWS + SAP), per Section IV-C / Table II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApresConfig {
+    /// Warp Group Table entries (paper: 3, matching pipeline depth).
+    pub wgt_entries: usize,
+    /// SAP Prefetch Table entries (paper: 10).
+    pub pt_entries: usize,
+    /// Demand Request Queue entries (paper: 32).
+    pub drq_entries: usize,
+    /// Maximum prefetches generated per trigger (bounded by group size).
+    pub max_prefetches_per_miss: usize,
+    /// Move a missing load's warp group to the queue tail (the paper's
+    /// behaviour). Disable to ablate the demotion half of LAWS.
+    pub demote_on_miss: bool,
+    /// Width of the scheduling-queue head that round-robins as the leading
+    /// group (the paper reasons about 8 via its pipeline-latency argument).
+    pub head_window: usize,
+}
+
+impl ApresConfig {
+    /// The exact structure sizes of the paper's Table II. The paper sizes
+    /// the WGT to "cover all in-flight load instructions in the GPU
+    /// pipeline", which is 3 in its 3-stage issue→execute pipe.
+    pub fn table_ii() -> Self {
+        ApresConfig {
+            wgt_entries: 3,
+            pt_entries: 10,
+            drq_entries: 32,
+            max_prefetches_per_miss: 47,
+            demote_on_miss: true,
+            head_window: 8,
+        }
+    }
+}
+
+impl Default for ApresConfig {
+    /// Like [`ApresConfig::table_ii`], but with the WGT sized by the same
+    /// criterion applied to *this* simulator's pipeline: a load waits in the
+    /// LSU queue (up to 8 instructions) between issue and its L1 access, so
+    /// covering all in-flight loads needs 12 entries (72 bytes more than
+    /// Table II).
+    fn default() -> Self {
+        ApresConfig {
+            wgt_entries: 12,
+            ..Self::table_ii()
+        }
+    }
+}
+
+/// Complete configuration of the simulated GPU (Table III).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuConfig {
+    /// SM/core pipeline parameters.
+    pub core: CoreConfig,
+    /// Per-SM L1 data cache.
+    pub l1: CacheConfig,
+    /// Shared L2 cache (capacity is the total across all partitions).
+    pub l2: CacheConfig,
+    /// Off-chip DRAM model.
+    pub dram: DramConfig,
+    /// SM↔L2 interconnect.
+    pub noc: NocConfig,
+    /// APRES hardware structure sizes.
+    pub apres: ApresConfig,
+}
+
+impl GpuConfig {
+    /// The paper's simulation configuration (Table III).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let cfg = gpu_common::GpuConfig::paper_baseline();
+    /// assert_eq!(cfg.core.num_sms, 15);
+    /// assert_eq!(cfg.l1.num_sets(), 32);
+    /// ```
+    pub fn paper_baseline() -> Self {
+        GpuConfig {
+            core: CoreConfig {
+                num_sms: 15,
+                warps_per_sm: 48,
+                warp_size: 32,
+                alu_latency: 8,
+                issue_width: 1,
+                issue_to_execute_stages: 3,
+                launch_skew: 0,
+                waves_per_slot: 1,
+            },
+            l1: CacheConfig {
+                capacity_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 128,
+                mshrs: 64,
+                mshr_merge_slots: 8,
+                hit_latency: 28,
+                replacement: Replacement::Lru,
+                bypass: false,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 768 * 1024,
+                ways: 8,
+                line_bytes: 128,
+                mshrs: 128,
+                mshr_merge_slots: 8,
+                hit_latency: 200,
+                replacement: Replacement::Lru,
+                bypass: false,
+            },
+            dram: DramConfig {
+                partitions: 6,
+                latency: 440,
+                service_interval: 2,
+                queue_depth: 64,
+                interleave_bytes: 256,
+                row_policy: DramRowPolicy::Uniform,
+            },
+            noc: NocConfig {
+                latency: 8,
+                requests_per_cycle: 1,
+            },
+            apres: ApresConfig::default(),
+        }
+    }
+
+    /// A reduced configuration for fast unit/integration tests: 1 SM,
+    /// 16 warps, small caches, but the same structure as the baseline.
+    pub fn small_test() -> Self {
+        let mut cfg = Self::paper_baseline();
+        cfg.core.num_sms = 1;
+        cfg.core.warps_per_sm = 16;
+        cfg.core.waves_per_slot = 1;
+        cfg.l1.capacity_bytes = 8 * 1024;
+        cfg.l1.mshrs = 16;
+        cfg.l2.capacity_bytes = 64 * 1024;
+        cfg.dram.partitions = 2;
+        cfg
+    }
+
+    /// The paper's hypothetical large-cache GPU used in Figure 2: identical
+    /// to the baseline but with a 32 MB L1 per SM.
+    pub fn huge_l1() -> Self {
+        let mut cfg = Self::paper_baseline();
+        cfg.l1.capacity_bytes = 32 * 1024 * 1024;
+        cfg.l1.mshrs = 64;
+        cfg
+    }
+
+    /// Validates internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency found
+    /// (zero-sized structures, non-power-of-two geometry, ...).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.core.num_sms == 0 {
+            return Err("num_sms must be > 0".into());
+        }
+        if self.core.warps_per_sm == 0 || self.core.warps_per_sm > 64 {
+            return Err("warps_per_sm must be in 1..=64".into());
+        }
+        if !self.l1.line_bytes.is_power_of_two() || !self.l2.line_bytes.is_power_of_two() {
+            return Err("cache line sizes must be powers of two".into());
+        }
+        if self.l1.line_bytes != self.l2.line_bytes {
+            return Err("L1 and L2 line sizes must match".into());
+        }
+        let lines = self.l1.capacity_bytes / self.l1.line_bytes;
+        if !lines.is_multiple_of(self.l1.ways as u64)
+            || !((lines / self.l1.ways as u64) as usize).is_power_of_two()
+        {
+            return Err("L1 geometry must yield a power-of-two set count".into());
+        }
+        if self.dram.partitions == 0 {
+            return Err("dram.partitions must be > 0".into());
+        }
+        if !self.l2.capacity_bytes.is_multiple_of(self.dram.partitions as u64) {
+            return Err("L2 capacity must divide evenly across partitions".into());
+        }
+        if self.apres.wgt_entries == 0 || self.apres.pt_entries == 0 {
+            return Err("APRES table sizes must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_matches_table_iii() {
+        let cfg = GpuConfig::paper_baseline();
+        assert_eq!(cfg.core.num_sms, 15);
+        assert_eq!(cfg.core.warps_per_sm, 48);
+        assert_eq!(cfg.core.warp_size, 32);
+        assert_eq!(cfg.l1.capacity_bytes, 32 * 1024);
+        assert_eq!(cfg.l1.ways, 8);
+        assert_eq!(cfg.l1.line_bytes, 128);
+        assert_eq!(cfg.l1.mshrs, 64);
+        assert_eq!(cfg.l2.capacity_bytes, 768 * 1024);
+        assert_eq!(cfg.l2.hit_latency, 200);
+        assert_eq!(cfg.dram.partitions, 6);
+        assert_eq!(cfg.dram.latency, 440);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn l1_geometry() {
+        let cfg = GpuConfig::paper_baseline();
+        // 32 KB / 128 B = 256 lines; 256 / 8 ways = 32 sets.
+        assert_eq!(cfg.l1.num_lines(), 256);
+        assert_eq!(cfg.l1.num_sets(), 32);
+    }
+
+    #[test]
+    fn huge_l1_only_changes_capacity() {
+        let base = GpuConfig::paper_baseline();
+        let huge = GpuConfig::huge_l1();
+        assert_eq!(huge.l1.capacity_bytes, 32 * 1024 * 1024);
+        assert_eq!(huge.l2, base.l2);
+        assert!(huge.validate().is_ok());
+    }
+
+    #[test]
+    fn small_test_validates() {
+        assert!(GpuConfig::small_test().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        let mut cfg = GpuConfig::paper_baseline();
+        cfg.l1.line_bytes = 100;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = GpuConfig::paper_baseline();
+        cfg.core.num_sms = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = GpuConfig::paper_baseline();
+        cfg.l2.line_bytes = 256;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_paper_baseline() {
+        assert_eq!(GpuConfig::default(), GpuConfig::paper_baseline());
+    }
+
+    #[test]
+    fn apres_table_ii_sizes() {
+        let a = ApresConfig::table_ii();
+        assert_eq!(a.wgt_entries, 3);
+        assert_eq!(a.pt_entries, 10);
+        assert_eq!(a.drq_entries, 32);
+        // The simulator default widens only the WGT (pipeline-depth
+        // criterion applied to this pipeline).
+        let d = ApresConfig::default();
+        assert_eq!(d.wgt_entries, 12);
+        assert_eq!(d.pt_entries, a.pt_entries);
+    }
+}

@@ -1,0 +1,26 @@
+//! Core identifiers, configuration, statistics, and deterministic RNG shared by
+//! every crate of the APRES GPU-simulator workspace.
+//!
+//! This crate is dependency-free (besides `std`) and defines the vocabulary
+//! types the rest of the simulator speaks: [`WarpId`], [`Pc`], [`Addr`],
+//! [`LineAddr`], [`Cycle`], the hierarchy of configuration structs rooted at
+//! [`config::GpuConfig`], the statistics counters in [`stats`], and the
+//! deterministic [`rng::Xoshiro256`] generator used by workload generators.
+//!
+//! # Example
+//!
+//! ```
+//! use gpu_common::{Addr, config::GpuConfig};
+//!
+//! let cfg = GpuConfig::paper_baseline();
+//! let addr = Addr::new(0x1234);
+//! assert_eq!(addr.line(cfg.l1.line_bytes).byte_offset(addr, cfg.l1.line_bytes), 0x34);
+//! ```
+
+pub mod config;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+pub use config::GpuConfig;
+pub use ids::{Addr, Cycle, LineAddr, Pc, SmId, WarpId};

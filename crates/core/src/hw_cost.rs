@@ -1,0 +1,99 @@
+//! Hardware cost of APRES (Table II).
+//!
+//! Every number is derived from the structure geometry, exactly as the
+//! paper's Table II:
+//!
+//! | Module | Cost |
+//! |--------|------|
+//! | LAWS   | 4 B × 48 (LLT) + 48 b × 3 (WGT) |
+//! | SAP    | 8 B × 32 (DRQ) + 1 B × 48 (WQ) + (4 B + 1 B + 8 B + 8 B) × 10 (PT) |
+//! | Total  | **724 bytes** |
+
+use gpu_common::config::ApresConfig;
+
+/// Per-structure byte budget of one SM's APRES hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwCost {
+    /// Last Load Table: one 4-byte PC per resident warp.
+    pub llt_bytes: u64,
+    /// Warp Group Table: one warp-bit-vector per in-flight load.
+    pub wgt_bytes: u64,
+    /// Demand Request Queue: 8-byte addresses.
+    pub drq_bytes: u64,
+    /// Warp Queue: 1-byte warp IDs.
+    pub wq_bytes: u64,
+    /// Prefetch Table: PC (4 B) + warp (1 B) + address (8 B) + stride (8 B)
+    /// per entry.
+    pub pt_bytes: u64,
+}
+
+impl HwCost {
+    /// Computes the budget for `warps_per_sm` resident warps under `cfg`.
+    pub fn compute(cfg: &ApresConfig, warps_per_sm: usize) -> Self {
+        let warps = warps_per_sm as u64;
+        HwCost {
+            llt_bytes: 4 * warps,
+            // One bit per warp per entry, rounded to whole bits as in the
+            // paper (48 b = 6 B).
+            wgt_bytes: (warps * cfg.wgt_entries as u64).div_ceil(8),
+            drq_bytes: 8 * cfg.drq_entries as u64,
+            wq_bytes: warps,
+            pt_bytes: (4 + 1 + 8 + 8) * cfg.pt_entries as u64,
+        }
+    }
+
+    /// LAWS subtotal (LLT + WGT).
+    pub fn laws_bytes(&self) -> u64 {
+        self.llt_bytes + self.wgt_bytes
+    }
+
+    /// SAP subtotal (DRQ + WQ + PT).
+    pub fn sap_bytes(&self) -> u64 {
+        self.drq_bytes + self.wq_bytes + self.pt_bytes
+    }
+
+    /// Total APRES storage per SM.
+    pub fn total_bytes(&self) -> u64 {
+        self.laws_bytes() + self.sap_bytes()
+    }
+
+    /// Overhead relative to an L1 of `l1_bytes` (the paper reports 2.06%
+    /// of a 32 KB 8-way L1 including tag overheads estimated with CACTI; the
+    /// raw-storage ratio here is the first-order version of that number).
+    pub fn overhead_vs_l1(&self, l1_bytes: u64) -> f64 {
+        self.total_bytes() as f64 / l1_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_ii() {
+        let cost = HwCost::compute(&ApresConfig::table_ii(), 48);
+        assert_eq!(cost.llt_bytes, 192); // 4 B × 48
+        assert_eq!(cost.wgt_bytes, 18); // 48 b × 3 = 144 b = 18 B
+        assert_eq!(cost.drq_bytes, 256); // 8 B × 32
+        assert_eq!(cost.wq_bytes, 48); // 1 B × 48
+        assert_eq!(cost.pt_bytes, 210); // 21 B × 10
+        assert_eq!(cost.laws_bytes(), 210);
+        assert_eq!(cost.sap_bytes(), 514);
+        assert_eq!(cost.total_bytes(), 724);
+    }
+
+    #[test]
+    fn overhead_is_small_fraction_of_l1() {
+        let cost = HwCost::compute(&ApresConfig::table_ii(), 48);
+        let frac = cost.overhead_vs_l1(32 * 1024);
+        assert!(frac < 0.03, "{frac}");
+        assert!(frac > 0.02, "{frac}");
+    }
+
+    #[test]
+    fn scales_with_warps() {
+        let small = HwCost::compute(&ApresConfig::table_ii(), 16);
+        assert_eq!(small.llt_bytes, 64);
+        assert_eq!(small.wq_bytes, 16);
+    }
+}

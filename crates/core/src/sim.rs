@@ -1,0 +1,311 @@
+//! Simulation facade: one entry point for every policy combination the
+//! paper evaluates.
+//!
+//! [`Simulation`] is a non-consuming builder over
+//! (configuration, kernel, scheduler, prefetcher, cycle budget). The
+//! combinations of interest:
+//!
+//! | Paper name  | [`SchedulerChoice`] | [`PrefetcherChoice`] |
+//! |-------------|---------------------|----------------------|
+//! | Baseline    | `Lrr`               | `None`               |
+//! | CCWS+STR    | `Ccws`              | `Str`                |
+//! | LAWS        | `Laws`              | `None`               |
+//! | LAWS+STR    | `Laws`              | `Str`                |
+//! | **APRES**   | `Laws`              | `Sap`                |
+
+use crate::laws::Laws;
+use crate::sap::Sap;
+use gpu_common::config::GpuConfig;
+use gpu_common::{Cycle, SmId};
+use gpu_kernel::Kernel;
+use gpu_prefetch::PrefetchEngine;
+use gpu_sched::SchedPolicy;
+use gpu_sm::traits::{NullPrefetcher, Prefetcher, WarpScheduler};
+use gpu_sm::{Gpu, RunResult};
+
+/// Default cycle budget; generous for every bundled workload.
+pub const DEFAULT_MAX_CYCLES: Cycle = 30_000_000;
+
+/// Scheduler selection (baselines + LAWS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerChoice {
+    /// Loose round-robin (the paper's baseline).
+    Lrr,
+    /// Greedy-then-oldest.
+    Gto,
+    /// Two-level fetch groups.
+    TwoLevel,
+    /// Cache-conscious wavefront scheduling.
+    Ccws,
+    /// Memory-aware scheduling.
+    Mascar,
+    /// Prefetch-aware two-level scheduling.
+    Pa,
+    /// Locality-aware warp scheduling (APRES's scheduler half).
+    Laws,
+}
+
+impl SchedulerChoice {
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerChoice::Lrr => "LRR",
+            SchedulerChoice::Gto => "GTO",
+            SchedulerChoice::TwoLevel => "2LV",
+            SchedulerChoice::Ccws => "CCWS",
+            SchedulerChoice::Mascar => "MASCAR",
+            SchedulerChoice::Pa => "PA",
+            SchedulerChoice::Laws => "LAWS",
+        }
+    }
+
+    fn make(self, cfg: &GpuConfig) -> Box<dyn WarpScheduler> {
+        match self {
+            SchedulerChoice::Lrr => SchedPolicy::Lrr.make(),
+            SchedulerChoice::Gto => SchedPolicy::Gto.make(),
+            SchedulerChoice::TwoLevel => SchedPolicy::TwoLevel.make(),
+            SchedulerChoice::Ccws => SchedPolicy::Ccws.make(),
+            SchedulerChoice::Mascar => SchedPolicy::Mascar.make(),
+            SchedulerChoice::Pa => SchedPolicy::Pa.make(),
+            SchedulerChoice::Laws => Box::new(Laws::new(&cfg.apres)),
+        }
+    }
+}
+
+/// Prefetcher selection (baselines + SAP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetcherChoice {
+    /// No prefetching.
+    None,
+    /// Per-PC stride prefetching.
+    Str,
+    /// Macro-block spatial prefetching.
+    Sld,
+    /// Scheduling-aware prefetching (APRES's prefetcher half; only
+    /// meaningful together with [`SchedulerChoice::Laws`], which supplies
+    /// the group triggers).
+    Sap,
+}
+
+impl PrefetcherChoice {
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetcherChoice::None => "none",
+            PrefetcherChoice::Str => "STR",
+            PrefetcherChoice::Sld => "SLD",
+            PrefetcherChoice::Sap => "SAP",
+        }
+    }
+
+    fn make(self, cfg: &GpuConfig) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetcherChoice::None => Box::new(NullPrefetcher),
+            PrefetcherChoice::Str => PrefetchEngine::Str.make(),
+            PrefetcherChoice::Sld => PrefetchEngine::Sld.make(),
+            PrefetcherChoice::Sap => Box::new(Sap::new(&cfg.apres)),
+        }
+    }
+}
+
+/// Builder for one simulation run.
+///
+/// # Example
+///
+/// ```
+/// use apres_core::sim::{Simulation, SchedulerChoice, PrefetcherChoice};
+/// use gpu_common::GpuConfig;
+/// use gpu_kernel::{Kernel, AddressPattern};
+///
+/// let k = Kernel::builder("ex")
+///     .load(AddressPattern::shared_stream(0, 128), &[])
+///     .alu(8, &[0])
+///     .iterations(4)
+///     .build();
+/// let baseline = Simulation::new(k)
+///     .config(GpuConfig::small_test())
+///     .run();
+/// assert_eq!(baseline.scheduler, "lrr");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    kernel: Kernel,
+    cfg: GpuConfig,
+    scheduler: SchedulerChoice,
+    prefetcher: PrefetcherChoice,
+    max_cycles: Cycle,
+}
+
+impl Simulation {
+    /// Starts configuring a run of `kernel` with the paper-baseline GPU,
+    /// LRR scheduling and no prefetching.
+    pub fn new(kernel: Kernel) -> Self {
+        Simulation {
+            kernel,
+            cfg: GpuConfig::paper_baseline(),
+            scheduler: SchedulerChoice::Lrr,
+            prefetcher: PrefetcherChoice::None,
+            max_cycles: DEFAULT_MAX_CYCLES,
+        }
+    }
+
+    /// Sets the GPU configuration.
+    pub fn config(mut self, cfg: GpuConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the warp scheduler.
+    pub fn scheduler(mut self, s: SchedulerChoice) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Sets the prefetcher.
+    pub fn prefetcher(mut self, p: PrefetcherChoice) -> Self {
+        self.prefetcher = p;
+        self
+    }
+
+    /// Shorthand for `scheduler(Laws).prefetcher(Sap)` — the full APRES
+    /// configuration.
+    pub fn apres(self) -> Self {
+        self.scheduler(SchedulerChoice::Laws)
+            .prefetcher(PrefetcherChoice::Sap)
+    }
+
+    /// Sets the simulation cycle budget.
+    pub fn max_cycles(mut self, cycles: Cycle) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Runs the simulation to completion (or the cycle budget).
+    pub fn run(&self) -> RunResult {
+        let cfg = self.cfg.clone();
+        let sched = self.scheduler;
+        let pf = self.prefetcher;
+        let make_sched = move |_: SmId| sched.make(&cfg);
+        let cfg2 = self.cfg.clone();
+        let make_pf = move |_: SmId| pf.make(&cfg2);
+        Gpu::new(&self.cfg, self.kernel.clone(), &make_sched, &make_pf).run(self.max_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_kernel::AddressPattern;
+
+    fn locality_kernel() -> Kernel {
+        // Shared stream: consecutive warps hit the same line.
+        Kernel::builder("locality")
+            .load(AddressPattern::shared_stream(0, 64), &[])
+            .alu(8, &[0])
+            .iterations(24)
+            .build()
+    }
+
+    fn strided_kernel() -> Kernel {
+        // Large inter-warp stride, grid-stride loop, no reuse: the SAP
+        // sweet spot.
+        Kernel::builder("strided")
+            .load(
+                AddressPattern::warp_strided(0, 4352, 4352 * 64, 4),
+                &[],
+            )
+            .alu(8, &[0])
+            .iterations(24)
+            .build()
+    }
+
+    fn run(k: Kernel, s: SchedulerChoice, p: PrefetcherChoice) -> RunResult {
+        Simulation::new(k)
+            .config(gpu_common::GpuConfig::small_test())
+            .scheduler(s)
+            .prefetcher(p)
+            .max_cycles(3_000_000)
+            .run()
+    }
+
+    #[test]
+    fn all_policy_combinations_complete() {
+        for s in [
+            SchedulerChoice::Lrr,
+            SchedulerChoice::Gto,
+            SchedulerChoice::TwoLevel,
+            SchedulerChoice::Ccws,
+            SchedulerChoice::Mascar,
+            SchedulerChoice::Pa,
+            SchedulerChoice::Laws,
+        ] {
+            let r = run(locality_kernel(), s, PrefetcherChoice::None);
+            assert!(!r.timed_out, "{s:?} timed out");
+            assert_eq!(r.sim.instructions, 16 * 2 * 24, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn apres_shorthand() {
+        let r = Simulation::new(locality_kernel())
+            .config(gpu_common::GpuConfig::small_test())
+            .apres()
+            .max_cycles(3_000_000)
+            .run();
+        assert_eq!(r.scheduler, "laws");
+        assert_eq!(r.prefetcher, "sap");
+        assert!(!r.timed_out);
+    }
+
+    #[test]
+    fn sap_prefetches_on_strided_kernel() {
+        let r = run(strided_kernel(), SchedulerChoice::Laws, PrefetcherChoice::Sap);
+        assert!(!r.timed_out);
+        assert!(r.prefetch.issued > 0, "SAP issued no prefetches");
+        assert!(
+            r.prefetch.useful + r.prefetch.late_merged > 0,
+            "no prefetch ever helped: {:?}",
+            r.prefetch
+        );
+    }
+
+    #[test]
+    fn apres_beats_baseline_on_strided_kernel() {
+        let base = run(strided_kernel(), SchedulerChoice::Lrr, PrefetcherChoice::None);
+        let apres = run(strided_kernel(), SchedulerChoice::Laws, PrefetcherChoice::Sap);
+        assert!(
+            apres.speedup_over(&base) > 1.0,
+            "APRES {:.3} vs baseline {:.3} IPC",
+            apres.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn laws_helps_locality_kernel_hit_rate() {
+        let base = run(locality_kernel(), SchedulerChoice::Lrr, PrefetcherChoice::None);
+        let laws = run(locality_kernel(), SchedulerChoice::Laws, PrefetcherChoice::None);
+        assert!(
+            laws.l1.hit_after_hit_ratio() >= base.l1.hit_after_hit_ratio() * 0.95,
+            "LAWS hit-after-hit {:.3} vs LRR {:.3}",
+            laws.l1.hit_after_hit_ratio(),
+            base.l1.hit_after_hit_ratio()
+        );
+    }
+
+    #[test]
+    fn str_prefetcher_works_under_any_scheduler() {
+        let r = run(strided_kernel(), SchedulerChoice::Ccws, PrefetcherChoice::Str);
+        assert!(!r.timed_out);
+        assert!(r.prefetch.issued > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(strided_kernel(), SchedulerChoice::Laws, PrefetcherChoice::Sap);
+        let b = run(strided_kernel(), SchedulerChoice::Laws, PrefetcherChoice::Sap);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.l1, b.l1);
+        assert_eq!(a.prefetch, b.prefetch);
+    }
+}

@@ -1,0 +1,268 @@
+//! SIMT reconvergence stack (immediate post-dominator scheme).
+//!
+//! The baseline configuration (Table III) handles branch divergence with
+//! immediate-post-dominator reconvergence. The synthetic kernels express
+//! divergence as per-instruction active-lane counts, but the underlying
+//! mechanism is modelled here faithfully: a stack of (reconvergence PC,
+//! active mask, next PC) entries, pushed on a divergent branch and popped as
+//! execution reaches each reconvergence point.
+
+use gpu_common::Pc;
+
+/// A 32-bit lane mask (bit *i* set ⇒ lane *i* active).
+pub type LaneMask = u32;
+
+/// Mask with the first `n` lanes active.
+///
+/// # Panics
+///
+/// Panics if `n > 32`.
+pub fn first_lanes(n: u32) -> LaneMask {
+    assert!(n <= 32, "at most 32 lanes");
+    if n == 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+/// One entry of the reconvergence stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StackEntry {
+    /// PC at which this entry's lanes rejoin their siblings.
+    rpc: Option<Pc>,
+    /// Lanes executing under this entry.
+    mask: LaneMask,
+    /// Where those lanes resume.
+    npc: Pc,
+}
+
+/// Immediate post-dominator SIMT stack for one warp.
+///
+/// # Example
+///
+/// ```
+/// use gpu_kernel::simt::{SimtStack, first_lanes};
+/// use gpu_common::Pc;
+///
+/// let mut st = SimtStack::new(32, Pc(0x0));
+/// // Branch at 0x8: lanes 0..8 take it to 0x20, the rest fall through to
+/// // 0x10; both sides reconverge at 0x40.
+/// st.diverge(Pc(0x40), first_lanes(8), Pc(0x20), Pc(0x10));
+/// assert_eq!(st.active_mask(), !first_lanes(8)); // fall-through runs first
+/// assert_eq!(st.pc(), Pc(0x10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimtStack {
+    stack: Vec<StackEntry>,
+}
+
+impl SimtStack {
+    /// Creates a stack for a warp of `lanes` threads starting at `entry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds 32.
+    pub fn new(lanes: u32, entry: Pc) -> Self {
+        assert!((1..=32).contains(&lanes));
+        SimtStack {
+            stack: vec![StackEntry {
+                rpc: None,
+                mask: first_lanes(lanes),
+                npc: entry,
+            }],
+        }
+    }
+
+    /// Currently active lanes.
+    pub fn active_mask(&self) -> LaneMask {
+        self.stack.last().expect("stack never empty").mask
+    }
+
+    /// Number of currently active lanes.
+    pub fn active_lanes(&self) -> u32 {
+        self.active_mask().count_ones()
+    }
+
+    /// PC the active lanes execute next.
+    pub fn pc(&self) -> Pc {
+        self.stack.last().expect("stack never empty").npc
+    }
+
+    /// Depth of the stack (1 = converged).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Advances the active entry's PC (straight-line execution).
+    pub fn advance(&mut self, npc: Pc) {
+        self.stack.last_mut().expect("stack never empty").npc = npc;
+    }
+
+    /// Executes a divergent branch: of the active lanes, `taken_mask` jump to
+    /// `taken_pc`, the rest fall through to `fallthrough_pc`, and all rejoin
+    /// at `rpc` (the immediate post-dominator). If all or none of the active
+    /// lanes take the branch, no divergence occurs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taken_mask` contains lanes that are not currently active.
+    pub fn diverge(
+        &mut self,
+        rpc: Pc,
+        taken_mask: LaneMask,
+        taken_pc: Pc,
+        fallthrough_pc: Pc,
+    ) {
+        let active = self.active_mask();
+        assert_eq!(
+            taken_mask & !active,
+            0,
+            "taken lanes must be a subset of active lanes"
+        );
+        let not_taken = active & !taken_mask;
+        if taken_mask == 0 {
+            self.advance(fallthrough_pc);
+            return;
+        }
+        if not_taken == 0 {
+            self.advance(taken_pc);
+            return;
+        }
+        // Convert the current entry into the reconvergence placeholder.
+        {
+            let top = self.stack.last_mut().expect("stack never empty");
+            top.npc = rpc;
+        }
+        // Taken path is pushed first so the fall-through executes first
+        // (matching GPGPU-sim's convention; order does not affect
+        // correctness, only interleaving).
+        self.stack.push(StackEntry {
+            rpc: Some(rpc),
+            mask: taken_mask,
+            npc: taken_pc,
+        });
+        self.stack.push(StackEntry {
+            rpc: Some(rpc),
+            mask: not_taken,
+            npc: fallthrough_pc,
+        });
+    }
+
+    /// Called when the active lanes reach `pc`; pops the top entry if this
+    /// is its reconvergence point, revealing the sibling path (or the
+    /// converged placeholder). Returns `true` if a pop occurred.
+    ///
+    /// Exactly one entry pops per arrival: the sibling path revealed
+    /// underneath still has to execute before the join completes.
+    pub fn reconverge_at(&mut self, pc: Pc) -> bool {
+        if self.stack.len() > 1 && self.stack.last().expect("nonempty").rpc == Some(pc) {
+            self.stack.pop();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` when no divergence is outstanding.
+    pub fn is_converged(&self) -> bool {
+        self.stack.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_lanes_masks() {
+        assert_eq!(first_lanes(0), 0);
+        assert_eq!(first_lanes(1), 1);
+        assert_eq!(first_lanes(8), 0xFF);
+        assert_eq!(first_lanes(32), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32")]
+    fn first_lanes_rejects_33() {
+        first_lanes(33);
+    }
+
+    #[test]
+    fn converged_execution() {
+        let mut st = SimtStack::new(32, Pc(0));
+        assert!(st.is_converged());
+        assert_eq!(st.active_lanes(), 32);
+        st.advance(Pc(8));
+        assert_eq!(st.pc(), Pc(8));
+    }
+
+    #[test]
+    fn if_else_reconverges() {
+        let mut st = SimtStack::new(32, Pc(0x8));
+        st.diverge(Pc(0x40), first_lanes(8), Pc(0x20), Pc(0x10));
+        // Fall-through side first: 24 lanes.
+        assert_eq!(st.active_lanes(), 24);
+        assert_eq!(st.pc(), Pc(0x10));
+        assert_eq!(st.depth(), 3);
+        // Fall-through reaches the join.
+        st.advance(Pc(0x40));
+        assert!(st.reconverge_at(Pc(0x40)));
+        // Taken side now runs: 8 lanes at 0x20.
+        assert_eq!(st.active_lanes(), 8);
+        assert_eq!(st.pc(), Pc(0x20));
+        st.advance(Pc(0x40));
+        assert!(st.reconverge_at(Pc(0x40)));
+        assert!(st.is_converged());
+        assert_eq!(st.active_lanes(), 32);
+        assert_eq!(st.pc(), Pc(0x40));
+    }
+
+    #[test]
+    fn uniform_branches_do_not_push() {
+        let mut st = SimtStack::new(16, Pc(0));
+        st.diverge(Pc(0x40), 0, Pc(0x20), Pc(0x10));
+        assert!(st.is_converged());
+        assert_eq!(st.pc(), Pc(0x10));
+        st.diverge(Pc(0x40), first_lanes(16), Pc(0x20), Pc(0x18));
+        assert!(st.is_converged());
+        assert_eq!(st.pc(), Pc(0x20));
+    }
+
+    #[test]
+    fn nested_divergence() {
+        let mut st = SimtStack::new(32, Pc(0));
+        st.diverge(Pc(0x100), first_lanes(16), Pc(0x50), Pc(0x10));
+        // Fall-through (upper 16 lanes) diverges again.
+        st.diverge(Pc(0x80), 0x000F_0000, Pc(0x30), Pc(0x18));
+        assert_eq!(st.depth(), 5);
+        assert_eq!(st.active_mask(), 0xFFF0_0000);
+        st.advance(Pc(0x80));
+        st.reconverge_at(Pc(0x80));
+        assert_eq!(st.active_mask(), 0x000F_0000);
+        st.advance(Pc(0x80));
+        st.reconverge_at(Pc(0x80));
+        assert_eq!(st.active_mask(), 0xFFFF_0000);
+        st.advance(Pc(0x100));
+        st.reconverge_at(Pc(0x100));
+        assert_eq!(st.active_mask(), 0x0000_FFFF);
+        st.advance(Pc(0x100));
+        st.reconverge_at(Pc(0x100));
+        assert!(st.is_converged());
+    }
+
+    #[test]
+    #[should_panic(expected = "subset")]
+    fn taken_outside_active_panics() {
+        let mut st = SimtStack::new(8, Pc(0));
+        st.diverge(Pc(0x40), 0xFF00, Pc(0x20), Pc(0x10));
+    }
+
+    #[test]
+    fn reconverge_at_wrong_pc_is_noop() {
+        let mut st = SimtStack::new(32, Pc(0));
+        st.diverge(Pc(0x40), first_lanes(4), Pc(0x20), Pc(0x10));
+        assert!(!st.reconverge_at(Pc(0x38)));
+        assert_eq!(st.depth(), 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! Miss classification and hit-sequence tracking.
+//!
+//! Section III-A: "A cache access request is considered either a capacity or
+//! a conflict miss if the line has been loaded to cache previously but
+//! evicted prior to first reuse" — more loosely, any miss on a line that was
+//! resident before is a capacity/conflict miss; a miss on a never-seen line
+//! is a cold miss. Section V-C additionally splits hits into *hit-after-hit*
+//! (the previous access also hit) and *hit-after-miss*.
+
+use gpu_common::LineAddr;
+use std::collections::HashSet;
+
+/// Classification of one demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Hit; previous access to this cache also hit.
+    HitAfterHit,
+    /// Hit; previous access missed.
+    HitAfterMiss,
+    /// Miss on a line never resident before (compulsory).
+    ColdMiss,
+    /// Miss on a line that was resident before (capacity or conflict).
+    CapacityConflictMiss,
+}
+
+impl AccessClass {
+    /// `true` for either hit class.
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessClass::HitAfterHit | AccessClass::HitAfterMiss)
+    }
+}
+
+/// Classifies the demand-access stream of one cache.
+#[derive(Debug, Clone, Default)]
+pub struct MissClassifier {
+    ever_filled: HashSet<LineAddr>,
+    last_was_hit: bool,
+    any_access: bool,
+}
+
+impl MissClassifier {
+    /// Creates a classifier with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a demand access outcome and classifies it. `hit` includes
+    /// MSHR merges (the data was already on its way — the classification of
+    /// the *miss* happened when the entry was allocated).
+    pub fn classify(&mut self, line: LineAddr, hit: bool) -> AccessClass {
+        let class = if hit {
+            if self.last_was_hit && self.any_access {
+                AccessClass::HitAfterHit
+            } else {
+                AccessClass::HitAfterMiss
+            }
+        } else if self.ever_filled.contains(&line) {
+            AccessClass::CapacityConflictMiss
+        } else {
+            AccessClass::ColdMiss
+        };
+        self.last_was_hit = hit;
+        self.any_access = true;
+        class
+    }
+
+    /// Records that `line` has been resident (call at fill time; prefetch
+    /// fills count — a subsequent miss on the line is a true re-fetch).
+    pub fn note_filled(&mut self, line: LineAddr) {
+        self.ever_filled.insert(line);
+    }
+
+    /// Number of distinct lines ever filled (footprint diagnostics).
+    pub fn distinct_lines(&self) -> usize {
+        self.ever_filled.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_cold() {
+        let mut c = MissClassifier::new();
+        assert_eq!(c.classify(LineAddr(1), false), AccessClass::ColdMiss);
+    }
+
+    #[test]
+    fn refetch_after_eviction_is_capacity_conflict() {
+        let mut c = MissClassifier::new();
+        assert_eq!(c.classify(LineAddr(1), false), AccessClass::ColdMiss);
+        c.note_filled(LineAddr(1));
+        // ... line evicted by the cache in the meantime ...
+        assert_eq!(
+            c.classify(LineAddr(1), false),
+            AccessClass::CapacityConflictMiss
+        );
+    }
+
+    #[test]
+    fn miss_without_fill_stays_cold() {
+        // A rejected (MSHR-full) access never filled the line; a later miss
+        // is still compulsory.
+        let mut c = MissClassifier::new();
+        c.classify(LineAddr(2), false);
+        assert_eq!(c.classify(LineAddr(2), false), AccessClass::ColdMiss);
+    }
+
+    #[test]
+    fn hit_sequencing() {
+        let mut c = MissClassifier::new();
+        c.note_filled(LineAddr(1));
+        // First access overall that hits counts as hit-after-miss
+        // (no preceding hit).
+        assert_eq!(c.classify(LineAddr(1), true), AccessClass::HitAfterMiss);
+        assert_eq!(c.classify(LineAddr(1), true), AccessClass::HitAfterHit);
+        assert_eq!(c.classify(LineAddr(9), false), AccessClass::ColdMiss);
+        assert_eq!(c.classify(LineAddr(1), true), AccessClass::HitAfterMiss);
+        assert_eq!(c.classify(LineAddr(1), true), AccessClass::HitAfterHit);
+    }
+
+    #[test]
+    fn is_hit_helper() {
+        assert!(AccessClass::HitAfterHit.is_hit());
+        assert!(AccessClass::HitAfterMiss.is_hit());
+        assert!(!AccessClass::ColdMiss.is_hit());
+        assert!(!AccessClass::CapacityConflictMiss.is_hit());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn conservation(accesses in proptest::collection::vec((0u64..16, any::<bool>()), 0..200)) {
+                let mut c = MissClassifier::new();
+                let (mut hh, mut hm, mut cold, mut cc) = (0u64, 0u64, 0u64, 0u64);
+                for &(line, hit) in &accesses {
+                    match c.classify(LineAddr(line), hit) {
+                        AccessClass::HitAfterHit => hh += 1,
+                        AccessClass::HitAfterMiss => hm += 1,
+                        AccessClass::ColdMiss => cold += 1,
+                        AccessClass::CapacityConflictMiss => cc += 1,
+                    }
+                    if !hit {
+                        c.note_filled(LineAddr(line));
+                    }
+                }
+                let hits = accesses.iter().filter(|&&(_, h)| h).count() as u64;
+                prop_assert_eq!(hh + hm, hits);
+                prop_assert_eq!(cold + cc, accesses.len() as u64 - hits);
+            }
+
+            #[test]
+            fn cold_at_most_once_per_line(lines in proptest::collection::vec(0u64..8, 0..100)) {
+                let mut c = MissClassifier::new();
+                let mut cold_seen = std::collections::HashSet::new();
+                for &l in &lines {
+                    if c.classify(LineAddr(l), false) == AccessClass::ColdMiss {
+                        prop_assert!(cold_seen.insert(l), "line {} cold twice", l);
+                    }
+                    c.note_filled(LineAddr(l));
+                }
+            }
+        }
+    }
+}

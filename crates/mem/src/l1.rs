@@ -1,0 +1,537 @@
+//! The per-SM L1 data cache unit.
+//!
+//! Combines the tag store, MSHR file, miss classifier and early-eviction
+//! tracker into the cache the LSU talks to. Policy summary:
+//!
+//! * loads allocate on fill; LRU replacement;
+//! * stores are write-through / no-write-allocate — they generate downstream
+//!   traffic but never change L1 state (common GPU design point);
+//! * demand loads that merge into an in-flight MSHR count as hits for the
+//!   hit/miss breakdown (the data is already on its way) and are recorded in
+//!   [`gpu_common::stats::CacheStats::mshr_merges`];
+//! * prefetches are dropped when the line is resident or already in flight.
+
+use crate::bypass::BypassPredictor;
+use crate::cache::TagStore;
+use crate::classify::{AccessClass, MissClassifier};
+use crate::mshr::{MshrFile, MshrOutcome};
+use crate::prefetch_meta::EarlyEvictionTracker;
+use crate::request::{AccessKind, MemRequest};
+use gpu_common::config::CacheConfig;
+use gpu_common::stats::{CacheStats, PrefetchStats};
+use gpu_common::{Cycle, LineAddr, Pc};
+use std::collections::{HashMap, VecDeque};
+
+/// Default number of evicted-unused prefetches remembered for early-eviction
+/// attribution.
+const EARLY_TRACKER_CAPACITY: usize = 4096;
+
+/// Outcome of one L1 access, as seen by the LSU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1AccessOutcome {
+    /// Hit; the result is available at `ready_at`.
+    Hit {
+        /// Cycle the data reaches the register file.
+        ready_at: Cycle,
+    },
+    /// Miss; an MSHR was allocated and the request was forwarded downstream.
+    Miss,
+    /// Merged into an in-flight miss; completes when that miss fills.
+    Merged {
+        /// The in-flight entry was prefetch-only before this merge.
+        into_prefetch: bool,
+    },
+    /// No MSHR/merge slot available; the LSU must retry.
+    Rejected,
+    /// Store accepted (write-through; no completion event).
+    StoreForwarded,
+    /// Prefetch dropped (duplicate or no resources).
+    PrefetchDropped,
+    /// Prefetch accepted and forwarded downstream.
+    PrefetchIssued,
+}
+
+/// A completed fill, with the demand loads waiting on it.
+#[derive(Debug, Clone)]
+pub struct LineFill {
+    /// The filled line.
+    pub line: LineAddr,
+    /// Demand loads to wake (primary + merged).
+    pub waiting_loads: Vec<MemRequest>,
+    /// The fill is prefetch-only (no demand ever merged).
+    pub prefetch_only: bool,
+}
+
+/// Per-static-load demand counters (runtime Table I columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcStats {
+    /// Demand load accesses from this PC.
+    pub accesses: u64,
+    /// Hits (including MSHR merges).
+    pub hits: u64,
+}
+
+impl PcStats {
+    /// Miss rate of this static load.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            1.0 - self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The per-SM L1 data cache (tags + MSHRs + classification).
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    cfg: CacheConfig,
+    tags: TagStore,
+    mshrs: MshrFile,
+    classifier: MissClassifier,
+    early: EarlyEvictionTracker,
+    stats: CacheStats,
+    pstats: PrefetchStats,
+    per_pc: HashMap<Pc, PcStats>,
+    bypass: Option<BypassPredictor>,
+    /// Lines whose in-flight fill must not be installed (bypassed loads).
+    no_fill: std::collections::HashSet<LineAddr>,
+    outgoing: VecDeque<MemRequest>,
+}
+
+impl L1Cache {
+    /// Builds an empty L1 with the given geometry.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        L1Cache {
+            tags: TagStore::new(cfg),
+            mshrs: MshrFile::new(cfg.mshrs, cfg.mshr_merge_slots),
+            classifier: MissClassifier::new(),
+            early: EarlyEvictionTracker::new(EARLY_TRACKER_CAPACITY),
+            stats: CacheStats::default(),
+            pstats: PrefetchStats::default(),
+            per_pc: HashMap::new(),
+            bypass: cfg.bypass.then(BypassPredictor::new),
+            no_fill: std::collections::HashSet::new(),
+            outgoing: VecDeque::new(),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Demand loads served around the cache by the bypass predictor.
+    pub fn bypassed_loads(&self) -> u64 {
+        self.bypass.as_ref().map_or(0, |b| b.bypassed)
+    }
+
+    /// Performs one line-granular access at cycle `now`.
+    pub fn access(&mut self, req: MemRequest, now: Cycle) -> L1AccessOutcome {
+        match req.kind {
+            AccessKind::Store => {
+                // Write-through, no-allocate: forward and forget.
+                self.outgoing.push_back(req);
+                L1AccessOutcome::StoreForwarded
+            }
+            AccessKind::Prefetch => self.access_prefetch(req),
+            AccessKind::Load => self.access_load(req, now),
+        }
+    }
+
+    fn access_prefetch(&mut self, req: MemRequest) -> L1AccessOutcome {
+        if self.tags.probe(req.line) || self.mshrs.contains(req.line) {
+            self.pstats.dropped_duplicate += 1;
+            return L1AccessOutcome::PrefetchDropped;
+        }
+        match self.mshrs.register(req.clone()) {
+            MshrOutcome::Allocated => {
+                self.pstats.issued += 1;
+                self.outgoing.push_back(req);
+                L1AccessOutcome::PrefetchIssued
+            }
+            MshrOutcome::Merged { .. } => unreachable!("contains() checked above"),
+            MshrOutcome::Rejected => {
+                self.pstats.dropped_no_resource += 1;
+                L1AccessOutcome::PrefetchDropped
+            }
+        }
+    }
+
+    fn access_load(&mut self, req: MemRequest, now: Cycle) -> L1AccessOutcome {
+        debug_assert_eq!(req.kind, AccessKind::Load);
+        let line = req.line;
+        let pc = req.pc;
+        let (hit, first_prefetch_use) = self.tags.touch_detailed(line);
+        if let Some(b) = &mut self.bypass {
+            b.record(pc, hit);
+        }
+        if hit {
+            self.stats.accesses += 1;
+            self.stats.hits += 1;
+            let pcs = self.per_pc.entry(pc).or_default();
+            pcs.accesses += 1;
+            pcs.hits += 1;
+            if first_prefetch_use {
+                self.pstats.useful += 1;
+            }
+            match self.classifier.classify(line, true) {
+                AccessClass::HitAfterHit => self.stats.hit_after_hit += 1,
+                AccessClass::HitAfterMiss => self.stats.hit_after_miss += 1,
+                _ => unreachable!("hit classified as miss"),
+            }
+            return L1AccessOutcome::Hit {
+                ready_at: now + self.cfg.hit_latency,
+            };
+        }
+        // Not resident: consult the bypass predictor — a bypassed load's
+        // fill will not be installed, so it cannot thrash the cache.
+        let bypassed = self
+            .bypass
+            .as_mut()
+            .is_some_and(|b| b.should_bypass(pc));
+        // Try the MSHRs before committing statistics, because a rejected
+        // access retries and must not be double counted.
+        match self.mshrs.register(req) {
+            MshrOutcome::Merged { into_prefetch } => {
+                self.stats.accesses += 1;
+                self.stats.hits += 1;
+                let pcs = self.per_pc.entry(pc).or_default();
+                pcs.accesses += 1;
+                pcs.hits += 1;
+                self.stats.mshr_merges += 1;
+                if into_prefetch {
+                    self.stats.merges_into_prefetch += 1;
+                    self.pstats.late_merged += 1;
+                }
+                match self.classifier.classify(line, true) {
+                    AccessClass::HitAfterHit => self.stats.hit_after_hit += 1,
+                    AccessClass::HitAfterMiss => self.stats.hit_after_miss += 1,
+                    _ => unreachable!("hit classified as miss"),
+                }
+                L1AccessOutcome::Merged { into_prefetch }
+            }
+            MshrOutcome::Rejected => {
+                self.stats.reservation_fails += 1;
+                L1AccessOutcome::Rejected
+            }
+            MshrOutcome::Allocated => {
+                if bypassed {
+                    self.no_fill.insert(line);
+                }
+                self.stats.accesses += 1;
+                self.per_pc.entry(pc).or_default().accesses += 1;
+                match self.classifier.classify(line, false) {
+                    AccessClass::ColdMiss => self.stats.cold_misses += 1,
+                    AccessClass::CapacityConflictMiss => {
+                        self.stats.capacity_conflict_misses += 1
+                    }
+                    _ => unreachable!("miss classified as hit"),
+                }
+                // Was this a correct prefetch we evicted too early?
+                self.early.note_demand(line);
+                // The allocating request was moved into the MSHR entry; clone
+                // it back out for the downstream queue.
+                let fwd = self
+                    .mshrs
+                    .entry(line)
+                    .expect("just allocated")
+                    .primary
+                    .clone();
+                self.outgoing.push_back(fwd);
+                L1AccessOutcome::Miss
+            }
+        }
+    }
+
+    /// Delivers a fill for `line` (response from L2/DRAM): installs the
+    /// line, releases the MSHR and returns the demand loads to wake.
+    ///
+    /// Fills for lines with no MSHR entry are ignored (can happen only if
+    /// the caller double-delivers; returns an empty fill).
+    pub fn fill(&mut self, line: LineAddr, now: Cycle) -> LineFill {
+        let Some(entry) = self.mshrs.complete(line) else {
+            return LineFill {
+                line,
+                waiting_loads: Vec::new(),
+                prefetch_only: false,
+            };
+        };
+        let prefetch_only = entry.prefetch_only;
+        if self.no_fill.remove(&line) {
+            // Bypassed load: deliver the data to the warp without
+            // installing the line.
+        } else {
+            self.classifier.note_filled(line);
+            if let Some(ev) = self.tags.fill(line, prefetch_only, now) {
+                self.stats.evictions += 1;
+                if ev.state.prefetched && !ev.state.demand_used {
+                    self.early.note_unused_eviction(ev.state.line);
+                }
+            }
+        }
+        LineFill {
+            line,
+            waiting_loads: entry.demand_loads().cloned().collect(),
+            prefetch_only,
+        }
+    }
+
+    /// Drains misses/stores/prefetches waiting to go downstream (up to
+    /// `max` of them).
+    pub fn drain_outgoing(&mut self, max: usize) -> Vec<MemRequest> {
+        let n = max.min(self.outgoing.len());
+        self.outgoing.drain(..n).collect()
+    }
+
+    /// Number of requests waiting to go downstream.
+    pub fn outgoing_len(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    /// `true` if `line` is resident.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.tags.probe(line)
+    }
+
+    /// `true` if a miss on `line` is in flight.
+    pub fn miss_in_flight(&self, line: LineAddr) -> bool {
+        self.mshrs.contains(line)
+    }
+
+    /// MSHR occupancy ratio (MASCAR's memory-saturation signal).
+    pub fn mshr_occupancy(&self) -> f64 {
+        self.mshrs.occupancy_ratio()
+    }
+
+    /// Demand-access statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Per-static-load demand statistics (runtime equivalent of Table I's
+    /// per-PC miss rates, valid under any scheduler).
+    pub fn per_pc_stats(&self) -> &HashMap<Pc, PcStats> {
+        &self.per_pc
+    }
+
+    /// Prefetch statistics, including early-eviction verdicts so far.
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        let mut p = self.pstats.clone();
+        let v = self.early.verdicts();
+        p.early_evictions = v.early;
+        p.useless_evictions = v.useless;
+        p
+    }
+
+    /// Resolves pending early-eviction verdicts (simulation end) and returns
+    /// the final prefetch statistics.
+    pub fn finalize(&mut self) -> PrefetchStats {
+        let v = self.early.finalize();
+        let mut p = self.pstats.clone();
+        p.early_evictions = v.early;
+        p.useless_evictions = v.useless;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestSource;
+    use gpu_common::config::Replacement;
+    use gpu_common::{Pc, SmId, WarpId};
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: 1024, // 4 sets × 2 ways
+            ways: 2,
+            line_bytes: 128,
+            mshrs: 4,
+            mshr_merge_slots: 4,
+            hit_latency: 10,
+            replacement: Replacement::Lru,
+            bypass: false,
+        }
+    }
+
+    fn load(line: u64, warp: u32, cycle: Cycle) -> MemRequest {
+        MemRequest::load(LineAddr(line), SmId(0), WarpId(warp), Pc(0x10), 0, 0, cycle)
+    }
+
+    fn prefetch(line: u64, warp: u32) -> MemRequest {
+        MemRequest::prefetch(
+            LineAddr(line),
+            RequestSource::StridePrefetcher,
+            SmId(0),
+            WarpId(warp),
+            Pc(0x10),
+            0,
+        )
+    }
+
+    #[test]
+    fn miss_fill_hit_cycle() {
+        let mut l1 = L1Cache::new(&cfg());
+        assert_eq!(l1.access(load(1, 0, 0), 0), L1AccessOutcome::Miss);
+        assert_eq!(l1.stats().cold_misses, 1);
+        assert_eq!(l1.drain_outgoing(8).len(), 1);
+        let fill = l1.fill(LineAddr(1), 100);
+        assert_eq!(fill.waiting_loads.len(), 1);
+        assert!(!fill.prefetch_only);
+        assert_eq!(
+            l1.access(load(1, 1, 101), 101),
+            L1AccessOutcome::Hit { ready_at: 111 }
+        );
+        assert_eq!(l1.stats().hits, 1);
+        assert_eq!(l1.stats().hit_after_miss, 1);
+    }
+
+    #[test]
+    fn demand_merge_counts_as_hit() {
+        let mut l1 = L1Cache::new(&cfg());
+        l1.access(load(1, 0, 0), 0);
+        let out = l1.access(load(1, 1, 1), 1);
+        assert_eq!(out, L1AccessOutcome::Merged { into_prefetch: false });
+        assert_eq!(l1.stats().mshr_merges, 1);
+        assert_eq!(l1.stats().hits, 1);
+        // Only the allocating miss went downstream.
+        assert_eq!(l1.drain_outgoing(8).len(), 1);
+        let fill = l1.fill(LineAddr(1), 50);
+        assert_eq!(fill.waiting_loads.len(), 2);
+    }
+
+    #[test]
+    fn rejected_when_mshrs_full_and_not_counted() {
+        let mut l1 = L1Cache::new(&cfg());
+        for i in 0..4 {
+            assert_eq!(l1.access(load(i, 0, 0), 0), L1AccessOutcome::Miss);
+        }
+        let before = l1.stats().accesses;
+        assert_eq!(l1.access(load(9, 0, 0), 0), L1AccessOutcome::Rejected);
+        assert_eq!(l1.stats().accesses, before);
+        assert_eq!(l1.stats().reservation_fails, 1);
+    }
+
+    #[test]
+    fn capacity_conflict_after_eviction() {
+        let mut l1 = L1Cache::new(&cfg());
+        // Lines 0, 4, 8 map to set 0 (4 sets); 2 ways.
+        for &l in &[0u64, 4, 8] {
+            l1.access(load(l, 0, 0), 0);
+            l1.fill(LineAddr(l), 1);
+        }
+        assert_eq!(l1.stats().evictions, 1);
+        // Line 0 was evicted by line 8's fill: re-access is capacity/conflict.
+        assert_eq!(l1.access(load(0, 0, 2), 2), L1AccessOutcome::Miss);
+        assert_eq!(l1.stats().capacity_conflict_misses, 1);
+        assert_eq!(l1.stats().cold_misses, 3);
+    }
+
+    #[test]
+    fn store_bypasses_cache_state() {
+        let mut l1 = L1Cache::new(&cfg());
+        let st = MemRequest::store(LineAddr(1), SmId(0), WarpId(0), Pc(0x20), 0);
+        assert_eq!(l1.access(st, 0), L1AccessOutcome::StoreForwarded);
+        assert_eq!(l1.stats().accesses, 0);
+        assert!(!l1.probe(LineAddr(1)));
+        assert_eq!(l1.drain_outgoing(8).len(), 1);
+    }
+
+    #[test]
+    fn prefetch_flow_useful() {
+        let mut l1 = L1Cache::new(&cfg());
+        assert_eq!(l1.access(prefetch(1, 3), 0), L1AccessOutcome::PrefetchIssued);
+        assert_eq!(l1.prefetch_stats().issued, 1);
+        // Duplicate while in flight: dropped.
+        assert_eq!(l1.access(prefetch(1, 3), 1), L1AccessOutcome::PrefetchDropped);
+        let fill = l1.fill(LineAddr(1), 50);
+        assert!(fill.prefetch_only);
+        assert!(fill.waiting_loads.is_empty());
+        // Demand hit on the prefetched line: useful.
+        assert!(matches!(l1.access(load(1, 5, 60), 60), L1AccessOutcome::Hit { .. }));
+        assert_eq!(l1.prefetch_stats().useful, 1);
+        // Duplicate while resident: dropped.
+        assert_eq!(l1.access(prefetch(1, 3), 61), L1AccessOutcome::PrefetchDropped);
+        assert_eq!(l1.prefetch_stats().dropped_duplicate, 2);
+    }
+
+    #[test]
+    fn demand_merges_into_prefetch() {
+        let mut l1 = L1Cache::new(&cfg());
+        l1.access(prefetch(1, 3), 0);
+        let out = l1.access(load(1, 3, 5), 5);
+        assert_eq!(out, L1AccessOutcome::Merged { into_prefetch: true });
+        let p = l1.prefetch_stats();
+        assert_eq!(p.late_merged, 1);
+        assert_eq!(l1.stats().merges_into_prefetch, 1);
+        let fill = l1.fill(LineAddr(1), 50);
+        assert!(!fill.prefetch_only);
+        assert_eq!(fill.waiting_loads.len(), 1);
+    }
+
+    #[test]
+    fn early_eviction_detected() {
+        let mut l1 = L1Cache::new(&cfg());
+        // Prefetch line 0 (set 0), fill it.
+        l1.access(prefetch(0, 1), 0);
+        l1.fill(LineAddr(0), 10);
+        // Two demand misses to the same set evict the unused prefetch.
+        for &l in &[4u64, 8] {
+            l1.access(load(l, 0, 20), 20);
+            l1.fill(LineAddr(l), 30);
+        }
+        assert_eq!(l1.prefetch_stats().early_evictions, 0);
+        // The demand for line 0 now arrives: the prefetch was correct but
+        // evicted early.
+        l1.access(load(0, 1, 40), 40);
+        let p = l1.prefetch_stats();
+        assert_eq!(p.early_evictions, 1);
+        assert!((p.early_eviction_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useless_prefetch_finalized() {
+        let mut l1 = L1Cache::new(&cfg());
+        l1.access(prefetch(0, 1), 0);
+        l1.fill(LineAddr(0), 10);
+        for &l in &[4u64, 8] {
+            l1.access(load(l, 0, 20), 20);
+            l1.fill(LineAddr(l), 30);
+        }
+        let p = l1.finalize();
+        assert_eq!(p.early_evictions, 0);
+        assert_eq!(p.useless_evictions, 1);
+    }
+
+    #[test]
+    fn bypassed_fills_are_not_installed() {
+        let mut c = cfg();
+        c.bypass = true;
+        let mut l1 = L1Cache::new(&c);
+        // Drive one PC to the bypass threshold with distinct-line misses.
+        for i in 0..12u64 {
+            assert_eq!(l1.access(load(i * 4, 0, 0), 0), L1AccessOutcome::Miss);
+            l1.fill(LineAddr(i * 4), 1);
+        }
+        // Next miss from the same PC bypasses: fill returns data but does
+        // not install the line.
+        let before = l1.bypassed_loads();
+        assert_eq!(l1.access(load(100, 0, 10), 10), L1AccessOutcome::Miss);
+        assert!(l1.bypassed_loads() > before);
+        let fill = l1.fill(LineAddr(100), 20);
+        assert_eq!(fill.waiting_loads.len(), 1, "warp still woken");
+        assert!(!l1.probe(LineAddr(100)), "line must not be installed");
+    }
+
+    #[test]
+    fn bypass_disabled_by_default() {
+        let l1 = L1Cache::new(&cfg());
+        assert_eq!(l1.bypassed_loads(), 0);
+    }
+
+    #[test]
+    fn double_fill_is_harmless() {
+        let mut l1 = L1Cache::new(&cfg());
+        l1.access(load(1, 0, 0), 0);
+        l1.fill(LineAddr(1), 10);
+        let f = l1.fill(LineAddr(1), 11);
+        assert!(f.waiting_loads.is_empty());
+    }
+}

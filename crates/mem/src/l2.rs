@@ -1,0 +1,315 @@
+//! Shared L2 cache banks.
+//!
+//! The L2 is partitioned: "each LLC partition is dedicated to each DRAM
+//! partition" (Section II). A bank holds `l2.capacity / partitions` bytes,
+//! services line-fetch requests from every SM, merges same-line requests in
+//! its own MSHRs, and forwards misses to its DRAM partition. Write-through
+//! stores update the bank on a hit and stream to DRAM either way.
+//!
+//! Timing: each bank serves one request per cycle through its tag/data
+//! port; a hit responds `hit_latency` cycles after its port slot (Table
+//! III: 200), so bursts see queueing delay on top of the base latency. A
+//! miss responds when DRAM returns (queue + 440 cycles), the tag probe
+//! being folded into the DRAM trip.
+
+use crate::cache::TagStore;
+use crate::dram::DramPartition;
+use crate::mshr::{MshrFile, MshrOutcome};
+use crate::request::{AccessKind, MemRequest};
+use gpu_common::config::{CacheConfig, DramConfig};
+use gpu_common::stats::CacheStats;
+use gpu_common::{Cycle, LineAddr};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A response travelling back toward an SM.
+#[derive(Debug, Clone)]
+pub struct L2Response {
+    /// The request being answered (identifies the SM and line).
+    pub req: MemRequest,
+}
+
+/// One L2 bank paired with its DRAM partition.
+#[derive(Debug)]
+pub struct L2Bank {
+    tags: TagStore,
+    mshrs: MshrFile,
+    dram: DramPartition,
+    /// Next cycle the bank's tag/data port is free (1 request/cycle).
+    port_free: Cycle,
+    /// Requests that could not get an MSHR; retried every cycle.
+    retry: VecDeque<MemRequest>,
+    /// Responses/fills in flight, ordered by ready cycle (seq breaks ties
+    /// FIFO).
+    pending: BTreeMap<(Cycle, u64), PendingKind>,
+    seq: u64,
+    stats: CacheStats,
+    /// Lines transferred from DRAM into this bank.
+    pub dram_line_fills: u64,
+    /// Store lines streamed to DRAM.
+    pub dram_line_writes: u64,
+}
+
+#[derive(Debug, Clone)]
+enum PendingKind {
+    /// A hit response for one request.
+    Hit(MemRequest),
+    /// DRAM returned `line`; complete the MSHR entry.
+    DramFill(LineAddr),
+}
+
+impl L2Bank {
+    /// Creates a bank holding `1/partitions` of the configured L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-bank geometry is inconsistent.
+    pub fn new(l2: &CacheConfig, dram: &DramConfig) -> Self {
+        let bank_cfg = CacheConfig {
+            capacity_bytes: l2.capacity_bytes / dram.partitions as u64,
+            ..l2.clone()
+        };
+        L2Bank {
+            tags: TagStore::new(&bank_cfg),
+            mshrs: MshrFile::new(l2.mshrs, l2.mshr_merge_slots),
+            dram: DramPartition::with_policy(dram.latency, dram.service_interval, dram.row_policy),
+            port_free: 0,
+            retry: VecDeque::new(),
+            pending: BTreeMap::new(),
+            seq: 0,
+            stats: CacheStats::default(),
+            dram_line_fills: 0,
+            dram_line_writes: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: Cycle, kind: PendingKind) {
+        self.seq += 1;
+        self.pending.insert((at, self.seq), kind);
+    }
+
+    /// Accepts one request from the interconnect at cycle `now`.
+    pub fn access(&mut self, req: MemRequest, now: Cycle, hit_latency: Cycle) {
+        // One request occupies the bank port per cycle; bursts queue.
+        let service = self.port_free.max(now);
+        self.port_free = service + 1;
+        if req.kind == AccessKind::Store {
+            // Write-through: refresh the line if resident, stream to DRAM.
+            self.tags.touch(req.line);
+            self.dram_line_writes += 1;
+            self.dram.push(req);
+            return;
+        }
+        self.stats.accesses += 1;
+        if self.tags.touch(req.line) {
+            self.stats.hits += 1;
+            self.schedule(service + hit_latency, PendingKind::Hit(req));
+            return;
+        }
+        match self.mshrs.register(req.clone()) {
+            MshrOutcome::Allocated => {
+                self.stats.cold_misses += 1; // cold/cap-conf split not needed at L2
+                self.dram.push(req);
+            }
+            MshrOutcome::Merged { .. } => {
+                self.stats.mshr_merges += 1;
+            }
+            MshrOutcome::Rejected => {
+                self.stats.reservation_fails += 1;
+                self.retry.push_back(req);
+            }
+        }
+    }
+
+    /// Advances one cycle; returns responses ready to travel back to SMs.
+    pub fn tick(&mut self, now: Cycle, _hit_latency: Cycle) -> Vec<L2Response> {
+        // Retry MSHR-starved requests first (one per cycle keeps it fair).
+        if let Some(req) = self.retry.pop_front() {
+            self.access_retry(req, now);
+        }
+        // Start a DRAM service.
+        if let Some(done) = self.dram.tick(now) {
+            if done.req.kind == AccessKind::Store {
+                // Posted write: nothing returns.
+            } else {
+                self.schedule(done.ready_at, PendingKind::DramFill(done.req.line));
+            }
+        }
+        // Deliver everything that matured this cycle.
+        let mut out = Vec::new();
+        while let Some((&(at, seq), _)) = self.pending.first_key_value() {
+            if at > now {
+                break;
+            }
+            let kind = self.pending.remove(&(at, seq)).expect("peeked");
+            match kind {
+                PendingKind::Hit(req) => out.push(L2Response { req }),
+                PendingKind::DramFill(line) => {
+                    self.dram_line_fills += 1;
+                    if self.tags.fill(line, false, now).is_some() {
+                        self.stats.evictions += 1;
+                    }
+                    if let Some(entry) = self.mshrs.complete(line) {
+                        out.push(L2Response {
+                            req: entry.primary,
+                        });
+                        for m in entry.merged {
+                            out.push(L2Response { req: m });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn access_retry(&mut self, req: MemRequest, _now: Cycle) {
+        // Retried requests re-enter through the MSHR path only (the tag probe
+        // happens again on the next regular access path if needed).
+        match self.mshrs.register(req.clone()) {
+            MshrOutcome::Allocated => self.dram.push(req),
+            MshrOutcome::Merged { .. } => self.stats.mshr_merges += 1,
+            MshrOutcome::Rejected => self.retry.push_back(req),
+        }
+    }
+
+    /// Demand statistics of this bank.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// `true` when no request is queued or in flight anywhere in the bank.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.retry.is_empty() && self.dram.is_idle()
+    }
+
+    /// DRAM queue depth (diagnostics).
+    pub fn dram_depth(&self) -> usize {
+        self.dram.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_common::config::Replacement;
+    use gpu_common::{Pc, SmId, WarpId};
+
+    fn cfgs() -> (CacheConfig, DramConfig) {
+        (
+            CacheConfig {
+                capacity_bytes: 4096, // per-bank 2048 with 2 partitions
+                ways: 2,
+                line_bytes: 128,
+                mshrs: 4,
+                mshr_merge_slots: 4,
+                hit_latency: 20,
+                replacement: Replacement::Lru,
+                bypass: false,
+            },
+            DramConfig {
+                partitions: 2,
+                latency: 100,
+                service_interval: 2,
+                queue_depth: 8,
+                interleave_bytes: 256,
+                row_policy: gpu_common::config::DramRowPolicy::Uniform,
+            },
+        )
+    }
+
+    fn load(line: u64, sm: u32) -> MemRequest {
+        MemRequest::load(LineAddr(line), SmId(sm), WarpId(0), Pc(0), 0, 0, 0)
+    }
+
+    fn run_until(bank: &mut L2Bank, from: Cycle, to: Cycle, lat: Cycle) -> Vec<(Cycle, L2Response)> {
+        let mut out = Vec::new();
+        for now in from..to {
+            for r in bank.tick(now, lat) {
+                out.push((now, r));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn miss_goes_to_dram_and_returns() {
+        let (l2, dr) = cfgs();
+        let mut bank = L2Bank::new(&l2, &dr);
+        bank.access(load(1, 0), 0, 20);
+        let done = run_until(&mut bank, 0, 200, 20);
+        assert_eq!(done.len(), 1);
+        // Serviced at 0, ready at 100.
+        assert_eq!(done[0].0, 100);
+        assert_eq!(bank.dram_line_fills, 1);
+        assert_eq!(bank.stats().misses(), 1);
+    }
+
+    #[test]
+    fn hit_uses_hit_latency() {
+        let (l2, dr) = cfgs();
+        let mut bank = L2Bank::new(&l2, &dr);
+        bank.access(load(1, 0), 0, 20);
+        run_until(&mut bank, 0, 150, 20);
+        bank.access(load(1, 0), 150, 20);
+        let done = run_until(&mut bank, 150, 200, 20);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 170);
+        assert_eq!(bank.stats().hits, 1);
+    }
+
+    #[test]
+    fn same_line_from_two_sms_merges() {
+        let (l2, dr) = cfgs();
+        let mut bank = L2Bank::new(&l2, &dr);
+        bank.access(load(1, 0), 0, 20);
+        bank.access(load(1, 1), 0, 20);
+        let done = run_until(&mut bank, 0, 200, 20);
+        assert_eq!(done.len(), 2);
+        assert_eq!(bank.stats().mshr_merges, 1);
+        assert_eq!(bank.dram_line_fills, 1);
+        let sms: Vec<u32> = done.iter().map(|(_, r)| r.req.sm.0).collect();
+        assert!(sms.contains(&0) && sms.contains(&1));
+    }
+
+    #[test]
+    fn store_streams_to_dram_without_response() {
+        let (l2, dr) = cfgs();
+        let mut bank = L2Bank::new(&l2, &dr);
+        let st = MemRequest::store(LineAddr(1), SmId(0), WarpId(0), Pc(0), 0);
+        bank.access(st, 0, 20);
+        let done = run_until(&mut bank, 0, 200, 20);
+        assert!(done.is_empty());
+        assert_eq!(bank.dram_line_writes, 1);
+        assert_eq!(bank.stats().accesses, 0);
+    }
+
+    #[test]
+    fn mshr_starvation_retries() {
+        let (l2, dr) = cfgs();
+        let mut bank = L2Bank::new(&l2, &dr);
+        for i in 0..5 {
+            bank.access(load(i, 0), 0, 20);
+        }
+        assert_eq!(bank.stats().reservation_fails, 1);
+        let done = run_until(&mut bank, 0, 400, 20);
+        assert_eq!(done.len(), 5, "retried request eventually completes");
+        assert!(bank.is_idle());
+    }
+
+    #[test]
+    fn bandwidth_spreads_completions() {
+        let (l2, dr) = cfgs();
+        let mut bank = L2Bank::new(&l2, &dr);
+        for i in 0..4 {
+            bank.access(load(i * 8, 0), 0, 20);
+        }
+        let done = run_until(&mut bank, 0, 300, 20);
+        let times: Vec<Cycle> = done.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times.len(), 4);
+        // Bandwidth spreads services: completions strictly increase (row
+        // hits finish at the faster latency but never reorder ahead of an
+        // earlier service in this pattern).
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+        assert!(times[3] - times[0] >= 6, "{times:?}");
+    }
+}

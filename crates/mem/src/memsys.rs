@@ -1,0 +1,276 @@
+//! The assembled off-core memory system: interconnect, L2 banks, DRAM.
+//!
+//! One [`MemorySystem`] is shared by all SMs. Each cycle the owner calls
+//! [`MemorySystem::tick`]; SMs push L1 misses in with
+//! [`MemorySystem::submit`] and collect matured line fills with
+//! [`MemorySystem::drain_fills`].
+
+use crate::l2::L2Bank;
+use crate::noc::DelayPipe;
+use crate::request::{AccessKind, MemRequest};
+use gpu_common::config::GpuConfig;
+use gpu_common::stats::MemStats;
+use gpu_common::{Cycle, LineAddr};
+
+/// Interconnect + shared L2 + DRAM, shared by every SM.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: GpuConfig,
+    /// Per-SM request pipes toward the L2.
+    to_l2: Vec<DelayPipe<MemRequest>>,
+    /// Per-SM response pipes back from the L2.
+    from_l2: Vec<DelayPipe<MemRequest>>,
+    banks: Vec<L2Bank>,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Builds the memory system for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`GpuConfig::validate`].
+    pub fn new(cfg: &GpuConfig) -> Self {
+        cfg.validate().expect("invalid GpuConfig");
+        MemorySystem {
+            to_l2: (0..cfg.core.num_sms)
+                .map(|_| DelayPipe::new(cfg.noc.latency))
+                .collect(),
+            from_l2: (0..cfg.core.num_sms)
+                .map(|_| DelayPipe::new(cfg.noc.latency))
+                .collect(),
+            banks: (0..cfg.dram.partitions)
+                .map(|_| L2Bank::new(&cfg.l2, &cfg.dram))
+                .collect(),
+            stats: MemStats::default(),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Which bank/partition a line maps to (interleaved by
+    /// `dram.interleave_bytes`).
+    pub fn partition_of(&self, line: LineAddr) -> usize {
+        let chunk = line.base(self.cfg.l1.line_bytes).0 / self.cfg.dram.interleave_bytes;
+        (chunk % self.cfg.dram.partitions as u64) as usize
+    }
+
+    /// Submits an L1 miss / store / prefetch from `sm` at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range.
+    pub fn submit(&mut self, sm: usize, req: MemRequest, now: Cycle) {
+        self.to_l2[sm].push(req, now);
+    }
+
+    /// Advances the interconnect, banks, and DRAM by one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        // SM → L2: each SM may inject `requests_per_cycle` per cycle.
+        for sm in 0..self.to_l2.len() {
+            let ready = self.to_l2[sm].pop_ready(now, self.cfg.noc.requests_per_cycle);
+            for req in ready {
+                let bank = self.partition_of(req.line);
+                self.banks[bank].access(req, now, self.cfg.l2.hit_latency);
+            }
+        }
+        // Banks and DRAM.
+        for bank in &mut self.banks {
+            for resp in bank.tick(now, self.cfg.l2.hit_latency) {
+                if resp.req.kind == AccessKind::Store {
+                    continue;
+                }
+                self.stats.bytes_to_sm += self.cfg.l1.line_bytes;
+                let sm = resp.req.sm.index();
+                self.from_l2[sm].push(resp.req, now);
+            }
+        }
+        self.stats.bytes_from_dram = self
+            .banks
+            .iter()
+            .map(|b| b.dram_line_fills + b.dram_line_writes)
+            .sum::<u64>()
+            * self.cfg.l1.line_bytes;
+    }
+
+    /// Collects line fills that have arrived back at `sm` by `now`.
+    pub fn drain_fills(&mut self, sm: usize, now: Cycle) -> Vec<MemRequest> {
+        self.from_l2[sm].pop_ready(now, usize::MAX)
+    }
+
+    /// Records a completed demand load's round-trip latency (called by the
+    /// SM when it wakes the warp).
+    pub fn note_load_latency(&mut self, latency: Cycle) {
+        self.stats.total_load_latency += latency;
+        self.stats.completed_loads += 1;
+    }
+
+    /// Aggregate traffic/latency statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Total L2 accesses across banks (for the energy model).
+    pub fn l2_accesses(&self) -> u64 {
+        self.banks.iter().map(|b| b.stats().accesses).sum()
+    }
+
+    /// Total DRAM line transfers (fills + writes) across banks.
+    pub fn dram_accesses(&self) -> u64 {
+        self.banks
+            .iter()
+            .map(|b| b.dram_line_fills + b.dram_line_writes)
+            .sum()
+    }
+
+    /// Aggregate L2 hit rate across banks (diagnostics).
+    pub fn l2_hit_rate(&self) -> f64 {
+        let (hits, acc) = self
+            .banks
+            .iter()
+            .fold((0u64, 0u64), |(h, a), b| {
+                (h + b.stats().hits, a + b.stats().accesses)
+            });
+        if acc == 0 {
+            0.0
+        } else {
+            hits as f64 / acc as f64
+        }
+    }
+
+    /// `true` when no request is in flight anywhere off-core.
+    pub fn is_idle(&self) -> bool {
+        self.to_l2.iter().all(DelayPipe::is_empty)
+            && self.from_l2.iter().all(DelayPipe::is_empty)
+            && self.banks.iter().all(L2Bank::is_idle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_common::{Pc, SmId, WarpId};
+
+    fn small_cfg() -> GpuConfig {
+        GpuConfig::small_test()
+    }
+
+    fn load(line: u64, sm: u32) -> MemRequest {
+        MemRequest::load(LineAddr(line), SmId(sm), WarpId(0), Pc(0), 0, 0, 0)
+    }
+
+    #[test]
+    fn round_trip_latency() {
+        let cfg = small_cfg();
+        let mut ms = MemorySystem::new(&cfg);
+        ms.submit(0, load(1, 0), 0);
+        let mut arrival = None;
+        for now in 0..3000 {
+            ms.tick(now);
+            let fills = ms.drain_fills(0, now);
+            if !fills.is_empty() {
+                arrival = Some(now);
+                assert_eq!(fills[0].line, LineAddr(1));
+                break;
+            }
+        }
+        // noc(8) + dram(440) + noc(8) = 456 (plus alignment slack).
+        let at = arrival.expect("fill arrived");
+        assert!((456..480).contains(&at), "arrival at {at}");
+        assert_eq!(ms.stats().bytes_to_sm, cfg.l1.line_bytes);
+        assert!(ms.is_idle());
+    }
+
+    #[test]
+    fn l2_hit_is_faster() {
+        let cfg = small_cfg();
+        let mut ms = MemorySystem::new(&cfg);
+        ms.submit(0, load(1, 0), 0);
+        let mut now = 0;
+        loop {
+            ms.tick(now);
+            if !ms.drain_fills(0, now).is_empty() {
+                break;
+            }
+            now += 1;
+            assert!(now < 3000);
+        }
+        let first = now;
+        let start = now + 1;
+        ms.submit(0, load(1, 0), start);
+        loop {
+            now += 1;
+            ms.tick(now);
+            if !ms.drain_fills(0, now).is_empty() {
+                break;
+            }
+            assert!(now < 3000);
+        }
+        let second_latency = now - start;
+        // noc + l2 hit (200) + noc ≈ 216 < first trip (~456).
+        assert!(second_latency < first, "hit {second_latency} vs miss {first}");
+        assert!((200..260).contains(&second_latency), "{second_latency}");
+    }
+
+    #[test]
+    fn partition_interleaving_covers_all_banks() {
+        let cfg = GpuConfig::paper_baseline();
+        let ms = MemorySystem::new(&cfg);
+        let mut seen = vec![false; cfg.dram.partitions];
+        for l in 0..64u64 {
+            seen[ms.partition_of(LineAddr(l))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all partitions used: {seen:?}");
+        // 256-byte interleave = 2 consecutive 128-byte lines per partition.
+        assert_eq!(
+            ms.partition_of(LineAddr(0)),
+            ms.partition_of(LineAddr(1))
+        );
+        assert_ne!(
+            ms.partition_of(LineAddr(1)),
+            ms.partition_of(LineAddr(2))
+        );
+    }
+
+    #[test]
+    fn fills_routed_to_correct_sm() {
+        let mut cfg = small_cfg();
+        cfg.core.num_sms = 2;
+        let mut ms = MemorySystem::new(&cfg);
+        ms.submit(0, load(1, 0), 0);
+        ms.submit(1, load(2, 1), 0);
+        let mut got = [false; 2];
+        for now in 0..3000 {
+            ms.tick(now);
+            for (sm, seen) in got.iter_mut().enumerate() {
+                for f in ms.drain_fills(sm, now) {
+                    assert_eq!(f.sm.index(), sm);
+                    *seen = true;
+                }
+            }
+        }
+        assert!(got[0] && got[1]);
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let cfg = small_cfg();
+        let mut ms = MemorySystem::new(&cfg);
+        ms.note_load_latency(100);
+        ms.note_load_latency(300);
+        assert!((ms.stats().avg_load_latency() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn store_generates_dram_write_traffic() {
+        let cfg = small_cfg();
+        let mut ms = MemorySystem::new(&cfg);
+        let st = MemRequest::store(LineAddr(1), SmId(0), WarpId(0), Pc(0), 0);
+        ms.submit(0, st, 0);
+        for now in 0..600 {
+            ms.tick(now);
+            assert!(ms.drain_fills(0, now).is_empty(), "stores never respond");
+        }
+        assert_eq!(ms.dram_accesses(), 1);
+        assert_eq!(ms.stats().bytes_to_sm, 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Miss Status Holding Registers.
+//!
+//! The MSHR file tracks in-flight misses at line granularity and merges
+//! subsequent accesses to the same line. Merging demand requests into an
+//! in-flight *prefetch* is central to APRES: "if the warps targeted for
+//! prefetch issue the load before the prefetched data is delivered, the
+//! demand requests are merged in miss status handling registers of the L1
+//! cache" (Section I).
+
+use crate::request::{AccessKind, MemRequest};
+use gpu_common::LineAddr;
+use std::collections::HashMap;
+
+/// One in-flight miss.
+#[derive(Debug, Clone)]
+pub struct MshrEntry {
+    /// The missing line.
+    pub line: LineAddr,
+    /// The request that allocated the entry.
+    pub primary: MemRequest,
+    /// Requests merged after allocation.
+    pub merged: Vec<MemRequest>,
+    /// `true` while only prefetch requests want the line (no demand merged).
+    pub prefetch_only: bool,
+}
+
+impl MshrEntry {
+    /// All demand loads waiting on the line (primary + merged).
+    pub fn demand_loads(&self) -> impl Iterator<Item = &MemRequest> {
+        std::iter::once(&self.primary)
+            .chain(self.merged.iter())
+            .filter(|r| r.kind == AccessKind::Load)
+    }
+
+    /// Total requests attached to this entry.
+    pub fn occupancy(&self) -> usize {
+        1 + self.merged.len()
+    }
+}
+
+/// Result of attempting to register a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A fresh entry was allocated; the request must be forwarded downstream.
+    Allocated,
+    /// Merged into an existing in-flight entry; no downstream request.
+    Merged {
+        /// The merge target was (still) a prefetch-only entry.
+        into_prefetch: bool,
+    },
+    /// No MSHR or merge slot available; caller must retry later.
+    Rejected,
+}
+
+/// A bounded MSHR file with per-entry merge slots.
+///
+/// # Example
+///
+/// ```
+/// use gpu_common::{LineAddr, SmId, WarpId, Pc};
+/// use gpu_mem::mshr::{MshrFile, MshrOutcome};
+/// use gpu_mem::request::MemRequest;
+///
+/// let mut m = MshrFile::new(2, 4);
+/// let r = MemRequest::load(LineAddr(1), SmId(0), WarpId(0), Pc(0), 0, 0, 0);
+/// assert_eq!(m.register(r.clone()), MshrOutcome::Allocated);
+/// assert!(matches!(m.register(r), MshrOutcome::Merged { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: HashMap<LineAddr, MshrEntry>,
+    capacity: usize,
+    merge_slots: usize,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries and `merge_slots` merges each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(capacity: usize, merge_slots: usize) -> Self {
+        assert!(capacity > 0 && merge_slots > 0);
+        MshrFile {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            merge_slots,
+        }
+    }
+
+    /// Entries currently in flight.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no miss is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when every register is in use.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Occupancy as a fraction of capacity (MASCAR's saturation signal).
+    pub fn occupancy_ratio(&self) -> f64 {
+        self.entries.len() as f64 / self.capacity as f64
+    }
+
+    /// `true` if a miss on `line` is in flight.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// In-flight entry for `line`, if any.
+    pub fn entry(&self, line: LineAddr) -> Option<&MshrEntry> {
+        self.entries.get(&line)
+    }
+
+    /// Registers a missing request: merges into an in-flight entry when one
+    /// exists, otherwise allocates (if a register is free).
+    pub fn register(&mut self, req: MemRequest) -> MshrOutcome {
+        if let Some(entry) = self.entries.get_mut(&req.line) {
+            if entry.merged.len() >= self.merge_slots {
+                return MshrOutcome::Rejected;
+            }
+            let into_prefetch = entry.prefetch_only && req.kind.is_demand();
+            if req.kind.is_demand() {
+                entry.prefetch_only = false;
+            }
+            entry.merged.push(req);
+            return MshrOutcome::Merged { into_prefetch };
+        }
+        if self.is_full() {
+            return MshrOutcome::Rejected;
+        }
+        let prefetch_only = req.kind == AccessKind::Prefetch;
+        self.entries.insert(
+            req.line,
+            MshrEntry {
+                line: req.line,
+                primary: req,
+                merged: Vec::new(),
+                prefetch_only,
+            },
+        );
+        MshrOutcome::Allocated
+    }
+
+    /// Completes the miss on `line`, releasing the register and returning
+    /// the entry with all merged requests.
+    pub fn complete(&mut self, line: LineAddr) -> Option<MshrEntry> {
+        self.entries.remove(&line)
+    }
+
+    /// Iterates over in-flight entries (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &MshrEntry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestSource;
+    use gpu_common::{Pc, SmId, WarpId};
+
+    fn load(line: u64, warp: u32) -> MemRequest {
+        MemRequest::load(LineAddr(line), SmId(0), WarpId(warp), Pc(0x10), 0, 0, 0)
+    }
+
+    fn prefetch(line: u64, warp: u32) -> MemRequest {
+        MemRequest::prefetch(
+            LineAddr(line),
+            RequestSource::SapPrefetcher,
+            SmId(0),
+            WarpId(warp),
+            Pc(0x10),
+            0,
+        )
+    }
+
+    #[test]
+    fn allocate_then_merge_then_complete() {
+        let mut m = MshrFile::new(4, 4);
+        assert_eq!(m.register(load(1, 0)), MshrOutcome::Allocated);
+        assert_eq!(
+            m.register(load(1, 1)),
+            MshrOutcome::Merged { into_prefetch: false }
+        );
+        assert_eq!(m.len(), 1);
+        let entry = m.complete(LineAddr(1)).unwrap();
+        assert_eq!(entry.occupancy(), 2);
+        assert_eq!(entry.demand_loads().count(), 2);
+        assert!(m.is_empty());
+        assert!(m.complete(LineAddr(1)).is_none());
+    }
+
+    #[test]
+    fn capacity_rejects() {
+        let mut m = MshrFile::new(2, 4);
+        assert_eq!(m.register(load(1, 0)), MshrOutcome::Allocated);
+        assert_eq!(m.register(load(2, 0)), MshrOutcome::Allocated);
+        assert!(m.is_full());
+        assert_eq!(m.register(load(3, 0)), MshrOutcome::Rejected);
+        // Merging into existing entries still allowed when full.
+        assert!(matches!(m.register(load(2, 1)), MshrOutcome::Merged { .. }));
+    }
+
+    #[test]
+    fn merge_slots_reject() {
+        let mut m = MshrFile::new(2, 1);
+        m.register(load(1, 0));
+        assert!(matches!(m.register(load(1, 1)), MshrOutcome::Merged { .. }));
+        assert_eq!(m.register(load(1, 2)), MshrOutcome::Rejected);
+    }
+
+    #[test]
+    fn demand_merging_into_prefetch_flagged() {
+        let mut m = MshrFile::new(4, 4);
+        assert_eq!(m.register(prefetch(7, 3)), MshrOutcome::Allocated);
+        assert!(m.entry(LineAddr(7)).unwrap().prefetch_only);
+        assert_eq!(
+            m.register(load(7, 3)),
+            MshrOutcome::Merged { into_prefetch: true }
+        );
+        assert!(!m.entry(LineAddr(7)).unwrap().prefetch_only);
+        // A second demand merge is no longer "into prefetch".
+        assert_eq!(
+            m.register(load(7, 4)),
+            MshrOutcome::Merged { into_prefetch: false }
+        );
+    }
+
+    #[test]
+    fn prefetch_merging_into_demand_keeps_demand() {
+        let mut m = MshrFile::new(4, 4);
+        m.register(load(7, 0));
+        assert_eq!(
+            m.register(prefetch(7, 1)),
+            MshrOutcome::Merged { into_prefetch: false }
+        );
+        assert!(!m.entry(LineAddr(7)).unwrap().prefetch_only);
+    }
+
+    #[test]
+    fn occupancy_ratio() {
+        let mut m = MshrFile::new(4, 4);
+        assert_eq!(m.occupancy_ratio(), 0.0);
+        m.register(load(1, 0));
+        m.register(load(2, 0));
+        assert!((m.occupancy_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn no_duplicate_lines_and_bounded(lines in proptest::collection::vec(0u64..8, 0..100)) {
+                let mut m = MshrFile::new(4, 2);
+                let mut accepted = 0usize;
+                let mut completed = 0usize;
+                for (i, &l) in lines.iter().enumerate() {
+                    if i % 7 == 6 {
+                        if m.complete(LineAddr(l)).is_some() {
+                            completed += 1;
+                        }
+                    } else {
+                        match m.register(load(l, i as u32 % 48)) {
+                            MshrOutcome::Rejected => {}
+                            _ => accepted += 1,
+                        }
+                    }
+                    prop_assert!(m.len() <= 4);
+                }
+                // Conservation: every accepted request is either still in an
+                // entry or was drained by a completion.
+                let in_flight: usize = m.iter().map(|e| e.occupancy()).sum();
+                prop_assert!(in_flight <= accepted);
+                let _ = completed;
+            }
+        }
+    }
+}

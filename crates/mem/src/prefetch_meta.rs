@@ -1,0 +1,190 @@
+//! Early-eviction tracking for prefetched cache lines.
+//!
+//! Sections III-C and V-D define the *early eviction ratio* as the fraction
+//! of **correctly predicted** prefetched lines that are evicted before any
+//! demand access reads them. Whether an evicted-unused prefetch was a
+//! correct prediction only becomes known later — when (and if) a demand
+//! access requests the same line. [`EarlyEvictionTracker`] therefore keeps a
+//! bounded FIFO of evicted-unused prefetched lines:
+//!
+//! * a later demand miss on a tracked line ⇒ the prefetch was correct but
+//!   evicted early (`early` verdict);
+//! * a tracked line aged out (or still tracked at simulation end) ⇒ the
+//!   prefetch was useless (`useless` verdict).
+
+use gpu_common::LineAddr;
+use std::collections::{HashMap, VecDeque};
+
+/// Verdicts produced as tracked lines resolve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvictionVerdicts {
+    /// Correct prefetches that were evicted before their demand arrived.
+    pub early: u64,
+    /// Prefetches whose line was never demanded.
+    pub useless: u64,
+}
+
+/// Bounded tracker of prefetched lines evicted before first demand use.
+#[derive(Debug, Clone)]
+pub struct EarlyEvictionTracker {
+    fifo: VecDeque<LineAddr>,
+    // line -> number of tracked evictions of that line currently in the fifo
+    tracked: HashMap<LineAddr, u32>,
+    capacity: usize,
+    verdicts: EvictionVerdicts,
+}
+
+impl EarlyEvictionTracker {
+    /// Creates a tracker remembering up to `capacity` evicted prefetches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        EarlyEvictionTracker {
+            fifo: VecDeque::with_capacity(capacity),
+            tracked: HashMap::new(),
+            capacity,
+            verdicts: EvictionVerdicts::default(),
+        }
+    }
+
+    /// Records that a prefetched line was evicted without any demand use.
+    pub fn note_unused_eviction(&mut self, line: LineAddr) {
+        if self.fifo.len() == self.capacity {
+            let old = self.fifo.pop_front().expect("capacity > 0");
+            self.untrack(old);
+            // Aged out without ever being demanded: useless prefetch.
+            self.verdicts.useless += 1;
+        }
+        self.fifo.push_back(line);
+        *self.tracked.entry(line).or_insert(0) += 1;
+    }
+
+    /// Records a demand access to `line`. If the line is tracked, the oldest
+    /// tracked instance resolves as an early eviction and `true` is
+    /// returned.
+    pub fn note_demand(&mut self, line: LineAddr) -> bool {
+        if self.tracked.contains_key(&line) {
+            self.untrack(line);
+            // Remove one fifo instance (the oldest).
+            if let Some(pos) = self.fifo.iter().position(|&l| l == line) {
+                self.fifo.remove(pos);
+            }
+            self.verdicts.early += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn untrack(&mut self, line: LineAddr) {
+        if let Some(n) = self.tracked.get_mut(&line) {
+            *n -= 1;
+            if *n == 0 {
+                self.tracked.remove(&line);
+            }
+        }
+    }
+
+    /// Verdicts accumulated so far (not counting still-pending lines).
+    pub fn verdicts(&self) -> EvictionVerdicts {
+        self.verdicts
+    }
+
+    /// Resolves all still-tracked lines as useless (call at simulation end)
+    /// and returns the final verdicts.
+    pub fn finalize(&mut self) -> EvictionVerdicts {
+        self.verdicts.useless += self.fifo.len() as u64;
+        self.fifo.clear();
+        self.tracked.clear();
+        self.verdicts
+    }
+
+    /// Number of evictions still awaiting a verdict.
+    pub fn pending(&self) -> usize {
+        self.fifo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_after_eviction_is_early() {
+        let mut t = EarlyEvictionTracker::new(8);
+        t.note_unused_eviction(LineAddr(1));
+        assert!(t.note_demand(LineAddr(1)));
+        assert_eq!(t.verdicts().early, 1);
+        assert_eq!(t.pending(), 0);
+        // Second demand: no longer tracked.
+        assert!(!t.note_demand(LineAddr(1)));
+        assert_eq!(t.verdicts().early, 1);
+    }
+
+    #[test]
+    fn aged_out_is_useless() {
+        let mut t = EarlyEvictionTracker::new(2);
+        t.note_unused_eviction(LineAddr(1));
+        t.note_unused_eviction(LineAddr(2));
+        t.note_unused_eviction(LineAddr(3)); // evicts tracking of line 1
+        assert_eq!(t.verdicts().useless, 1);
+        assert!(!t.note_demand(LineAddr(1)));
+        assert!(t.note_demand(LineAddr(2)));
+    }
+
+    #[test]
+    fn finalize_flushes_pending_as_useless() {
+        let mut t = EarlyEvictionTracker::new(8);
+        t.note_unused_eviction(LineAddr(1));
+        t.note_unused_eviction(LineAddr(2));
+        t.note_demand(LineAddr(2));
+        let v = t.finalize();
+        assert_eq!(v.early, 1);
+        assert_eq!(v.useless, 1);
+        assert_eq!(t.pending(), 0);
+    }
+
+    #[test]
+    fn duplicate_evictions_resolve_individually() {
+        let mut t = EarlyEvictionTracker::new(8);
+        t.note_unused_eviction(LineAddr(5));
+        t.note_unused_eviction(LineAddr(5));
+        assert!(t.note_demand(LineAddr(5)));
+        assert!(t.note_demand(LineAddr(5)));
+        assert!(!t.note_demand(LineAddr(5)));
+        assert_eq!(t.verdicts().early, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        EarlyEvictionTracker::new(0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn verdict_conservation(ops in proptest::collection::vec((0u64..8, any::<bool>()), 0..200)) {
+                let mut t = EarlyEvictionTracker::new(4);
+                let mut evictions = 0u64;
+                for &(line, is_evict) in &ops {
+                    if is_evict {
+                        t.note_unused_eviction(LineAddr(line));
+                        evictions += 1;
+                    } else {
+                        t.note_demand(LineAddr(line));
+                    }
+                    prop_assert!(t.pending() <= 4);
+                }
+                let v = t.finalize();
+                prop_assert_eq!(v.early + v.useless, evictions);
+            }
+        }
+    }
+}

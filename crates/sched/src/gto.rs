@@ -1,0 +1,97 @@
+//! Greedy-Then-Oldest scheduling.
+//!
+//! GTO keeps issuing from the same warp until it stalls, then falls back to
+//! the oldest (lowest-ID, since all warps launch together) ready warp. The
+//! greedy phase concentrates a single warp's working set in the cache, which
+//! is why GTO is a strong baseline for cache-sensitive workloads
+//! (Rogers et al., MICRO 2012; evaluated in Figures 3 and 4).
+
+use gpu_common::{Cycle, WarpId};
+use gpu_sm::traits::{ReadyWarp, SchedCtx, WarpScheduler};
+
+/// Greedy-then-oldest warp scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct Gto {
+    current: Option<WarpId>,
+}
+
+impl Gto {
+    /// Creates a GTO scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WarpScheduler for Gto {
+    fn name(&self) -> &'static str {
+        "gto"
+    }
+
+    fn pick(&mut self, ready: &[ReadyWarp], _ctx: &SchedCtx) -> Option<WarpId> {
+        if ready.is_empty() {
+            return None;
+        }
+        // Greedy: stay on the current warp while it remains ready.
+        if let Some(cur) = self.current {
+            if ready.iter().any(|r| r.id == cur) {
+                return Some(cur);
+            }
+        }
+        // Oldest: the lowest warp ID (launch order).
+        let oldest = ready[0].id;
+        self.current = Some(oldest);
+        Some(oldest)
+    }
+
+    fn on_warp_finished(&mut self, warp: WarpId) {
+        if self.current == Some(warp) {
+            self.current = None;
+        }
+    }
+
+    fn on_issue(&mut self, warp: WarpId, _now: Cycle) {
+        self.current = Some(warp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ctx, ready};
+
+    #[test]
+    fn greedy_sticks_to_current() {
+        let mut s = Gto::new();
+        let c = ctx(0.0);
+        let r = ready(&[0, 1, 2]);
+        assert_eq!(s.pick(&r, &c).unwrap().0, 0);
+        s.on_issue(WarpId(0), 0);
+        assert_eq!(s.pick(&r, &c).unwrap().0, 0);
+        assert_eq!(s.pick(&r, &c).unwrap().0, 0);
+    }
+
+    #[test]
+    fn falls_back_to_oldest_on_stall() {
+        let mut s = Gto::new();
+        let c = ctx(0.0);
+        s.on_issue(WarpId(2), 0);
+        // Warp 2 no longer ready: oldest ready wins.
+        assert_eq!(s.pick(&ready(&[1, 3]), &c).unwrap().0, 1);
+        // And becomes the new greedy target.
+        assert_eq!(s.pick(&ready(&[1, 3]), &c).unwrap().0, 1);
+    }
+
+    #[test]
+    fn finished_warp_releases_greedy_slot() {
+        let mut s = Gto::new();
+        let c = ctx(0.0);
+        s.on_issue(WarpId(0), 0);
+        s.on_warp_finished(WarpId(0));
+        assert_eq!(s.pick(&ready(&[1, 2]), &c).unwrap().0, 1);
+    }
+
+    #[test]
+    fn empty_stalls() {
+        assert_eq!(Gto::new().pick(&[], &ctx(0.0)), None);
+    }
+}

@@ -1,0 +1,85 @@
+//! Loose Round-Robin — the baseline policy.
+//!
+//! "The warp scheduler with LRR policy provides equal scheduling priorities
+//! to all ready warps and finds an issuable warp in sequential order of warp
+//! IDs" (Section II). The scheduler remembers the last issued warp and scans
+//! forward (wrapping) for the next ready one.
+
+use gpu_common::{Cycle, WarpId};
+use gpu_sm::traits::{ReadyWarp, SchedCtx, WarpScheduler};
+
+/// Loose round-robin warp scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct Lrr {
+    last: Option<u32>,
+}
+
+impl Lrr {
+    /// Creates an LRR scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WarpScheduler for Lrr {
+    fn name(&self) -> &'static str {
+        "lrr"
+    }
+
+    fn pick(&mut self, ready: &[ReadyWarp], _ctx: &SchedCtx) -> Option<WarpId> {
+        if ready.is_empty() {
+            return None;
+        }
+        let start = self.last.map_or(0, |l| l.wrapping_add(1));
+        let pick = ready
+            .iter()
+            .find(|r| r.id.0 >= start)
+            .unwrap_or(&ready[0])
+            .id;
+        self.last = Some(pick.0);
+        Some(pick)
+    }
+
+    fn on_issue(&mut self, _warp: WarpId, _now: Cycle) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ctx, ready};
+
+    #[test]
+    fn rotates_through_ready_warps() {
+        let mut s = Lrr::new();
+        let r = ready(&[0, 1, 2, 3]);
+        let c = ctx(0.0);
+        let picks: Vec<u32> = (0..6).map(|_| s.pick(&r, &c).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn skips_unready_warps() {
+        let mut s = Lrr::new();
+        let c = ctx(0.0);
+        assert_eq!(s.pick(&ready(&[0, 2, 5]), &c).unwrap().0, 0);
+        assert_eq!(s.pick(&ready(&[0, 2, 5]), &c).unwrap().0, 2);
+        assert_eq!(s.pick(&ready(&[0, 5]), &c).unwrap().0, 5);
+        assert_eq!(s.pick(&ready(&[0, 5]), &c).unwrap().0, 0);
+    }
+
+    #[test]
+    fn empty_ready_stalls() {
+        let mut s = Lrr::new();
+        assert_eq!(s.pick(&[], &ctx(0.0)), None);
+    }
+
+    #[test]
+    fn wraps_from_last_warp() {
+        let mut s = Lrr::new();
+        let c = ctx(0.0);
+        let r = ready(&[1, 3]);
+        assert_eq!(s.pick(&r, &c).unwrap().0, 1);
+        assert_eq!(s.pick(&r, &c).unwrap().0, 3);
+        assert_eq!(s.pick(&r, &c).unwrap().0, 1);
+    }
+}

@@ -1,0 +1,603 @@
+//! The whole GPU: N SMs over a shared memory system, plus the cycle loop.
+
+use crate::sm::Sm;
+use crate::traits::{Prefetcher, WarpScheduler};
+use gpu_common::config::GpuConfig;
+use gpu_common::stats::{CacheStats, EnergyEvents, MemStats, PrefetchStats, SimStats};
+use gpu_common::{Cycle, SmId};
+use gpu_kernel::Kernel;
+use gpu_mem::memsys::MemorySystem;
+use std::sync::Arc;
+
+/// Factory producing one scheduler instance per SM.
+pub type SchedulerFactory<'a> = dyn Fn(SmId) -> Box<dyn WarpScheduler> + 'a;
+/// Factory producing one prefetcher instance per SM.
+pub type PrefetcherFactory<'a> = dyn Fn(SmId) -> Box<dyn Prefetcher> + 'a;
+
+/// One interval of a sampled run (see [`Gpu::run_sampled`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Cycle at the end of the interval.
+    pub cycle: Cycle,
+    /// Instructions per cycle within the interval (all SMs).
+    pub ipc: f64,
+    /// L1 miss rate within the interval.
+    pub l1_miss_rate: f64,
+    /// Prefetches issued within the interval.
+    pub outstanding_prefetches: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Snapshot {
+    instructions: u64,
+    l1_accesses: u64,
+    l1_misses: u64,
+    prefetches_issued: u64,
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Scheduler policy name.
+    pub scheduler: String,
+    /// Prefetcher engine name.
+    pub prefetcher: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// The run hit the cycle cap before all warps retired.
+    pub timed_out: bool,
+    /// Issue statistics summed over SMs (with `cycles` set).
+    pub sim: SimStats,
+    /// L1 demand statistics summed over SMs.
+    pub l1: CacheStats,
+    /// Prefetch statistics summed over SMs (finalized).
+    pub prefetch: PrefetchStats,
+    /// Off-core memory statistics.
+    pub mem: MemStats,
+    /// Energy event counts summed over SMs (plus L2/DRAM).
+    pub energy: EnergyEvents,
+    /// Per-static-load L1 statistics summed over SMs, sorted by PC
+    /// (runtime Table I: per-PC accesses and miss rates under the actual
+    /// policy).
+    pub per_pc: Vec<(gpu_common::Pc, gpu_mem::l1::PcStats)>,
+}
+
+impl RunResult {
+    /// Aggregate instructions-per-cycle across all SMs.
+    pub fn ipc(&self) -> f64 {
+        self.sim.ipc()
+    }
+
+    /// Speedup of this run relative to `baseline` (IPC ratio).
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        let b = baseline.ipc();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.ipc() / b
+        }
+    }
+}
+
+/// A GPU instance ready to run one kernel under one policy combination.
+pub struct Gpu {
+    cfg: GpuConfig,
+    sms: Vec<Sm>,
+    mem: MemorySystem,
+    kernel: Arc<Kernel>,
+    now: Cycle,
+}
+
+impl Gpu {
+    /// Builds a GPU from a configuration, kernel, and per-SM policy
+    /// factories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(
+        cfg: &GpuConfig,
+        kernel: Kernel,
+        make_sched: &SchedulerFactory<'_>,
+        make_prefetch: &PrefetcherFactory<'_>,
+    ) -> Self {
+        cfg.validate().expect("invalid GpuConfig");
+        let kernel = Arc::new(kernel);
+        let sms = (0..cfg.core.num_sms)
+            .map(|i| {
+                let id = SmId(i as u32);
+                Sm::new(id, cfg, kernel.clone(), make_sched(id), make_prefetch(id))
+            })
+            .collect();
+        Gpu {
+            sms,
+            mem: MemorySystem::new(cfg),
+            kernel,
+            now: 0,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advances the whole GPU by one cycle.
+    pub fn step(&mut self) {
+        for sm in &mut self.sms {
+            sm.tick(self.now, &mut self.mem);
+        }
+        self.mem.tick(self.now);
+        self.now += 1;
+    }
+
+    /// `true` when every SM retired all warps and the memory system drained.
+    pub fn is_finished(&self) -> bool {
+        self.sms.iter().all(Sm::is_finished) && self.mem.is_idle()
+    }
+
+    /// Runs to completion or `max_cycles`, returning aggregated results.
+    pub fn run(mut self, max_cycles: Cycle) -> RunResult {
+        while self.now < max_cycles && !self.is_finished() {
+            self.step();
+        }
+        let timed_out = !self.is_finished();
+        self.into_result(timed_out)
+    }
+
+    /// Like [`Gpu::run`], additionally sampling aggregate counters every
+    /// `interval` cycles — the warm-up and phase behaviour behind the
+    /// end-of-run averages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn run_sampled(mut self, max_cycles: Cycle, interval: Cycle) -> (RunResult, Vec<Sample>) {
+        assert!(interval > 0, "interval must be > 0");
+        let mut samples = Vec::new();
+        let mut last = Snapshot::default();
+        while self.now < max_cycles && !self.is_finished() {
+            self.step();
+            if self.now.is_multiple_of(interval) {
+                let cur = self.snapshot();
+                samples.push(Sample {
+                    cycle: self.now,
+                    ipc: (cur.instructions - last.instructions) as f64 / interval as f64,
+                    l1_miss_rate: {
+                        let acc = cur.l1_accesses - last.l1_accesses;
+                        if acc == 0 {
+                            0.0
+                        } else {
+                            (cur.l1_misses - last.l1_misses) as f64 / acc as f64
+                        }
+                    },
+                    outstanding_prefetches: cur.prefetches_issued - last.prefetches_issued,
+                });
+                last = cur;
+            }
+        }
+        let timed_out = !self.is_finished();
+        (self.into_result(timed_out), samples)
+    }
+
+    /// Like [`Gpu::run`], recording up to `capacity` pipeline events from
+    /// `sm` (see [`crate::trace`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range or `capacity` is zero.
+    pub fn run_traced(
+        mut self,
+        max_cycles: Cycle,
+        sm: usize,
+        capacity: usize,
+    ) -> (RunResult, Vec<crate::trace::TraceEvent>) {
+        self.sms[sm].enable_trace(capacity);
+        while self.now < max_cycles && !self.is_finished() {
+            self.step();
+        }
+        let timed_out = !self.is_finished();
+        let trace = self.sms[sm]
+            .take_trace()
+            .expect("tracing was enabled")
+            .into_events();
+        (self.into_result(timed_out), trace)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::default();
+        for sm in &self.sms {
+            s.instructions += sm.stats().instructions;
+            let c = sm.cache_stats();
+            s.l1_accesses += c.accesses;
+            s.l1_misses += c.misses();
+            s.prefetches_issued += sm.prefetch_stats().issued;
+        }
+        s
+    }
+
+    fn into_result(mut self, timed_out: bool) -> RunResult {
+        let cycles = self.now;
+        let mut sim = SimStats::default();
+        let mut l1 = CacheStats::default();
+        let mut prefetch = PrefetchStats::default();
+        let mut energy = EnergyEvents::default();
+        let mut per_pc: std::collections::HashMap<gpu_common::Pc, gpu_mem::l1::PcStats> =
+            std::collections::HashMap::new();
+        let scheduler = self.sms[0].scheduler_name().to_owned();
+        let prefetcher = self.sms[0].prefetcher_name().to_owned();
+        for sm in &mut self.sms {
+            let s = sm.stats();
+            sim.instructions += s.instructions;
+            sim.loads += s.loads;
+            sim.stores += s.stores;
+            sim.stall_cycles += s.stall_cycles;
+            sim.stall_lsu_full += s.stall_lsu_full;
+            sim.stall_dependency += s.stall_dependency;
+            sim.active_lane_sum += s.active_lane_sum;
+            add_cache(&mut l1, sm.cache_stats());
+            for (pc, st) in sm.per_pc_stats() {
+                let agg = per_pc.entry(*pc).or_default();
+                agg.accesses += st.accesses;
+                agg.hits += st.hits;
+            }
+            add_prefetch(&mut prefetch, &sm.finalize_prefetch_stats());
+            energy.add(&sm.energy_events());
+        }
+        let mut per_pc: Vec<_> = per_pc.into_iter().collect();
+        per_pc.sort_by_key(|(pc, _)| *pc);
+        sim.cycles = cycles;
+        energy.l2_accesses = self.mem.l2_accesses();
+        energy.dram_accesses = self.mem.dram_accesses();
+        RunResult {
+            scheduler,
+            prefetcher,
+            kernel: self.kernel.name().to_owned(),
+            cycles,
+            timed_out,
+            sim,
+            l1,
+            prefetch,
+            mem: self.mem.stats().clone(),
+            energy,
+            per_pc,
+        }
+    }
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("kernel", &self.kernel.name())
+            .field("sms", &self.sms.len())
+            .field("now", &self.now)
+            .field("cfg", &self.cfg.core.num_sms)
+            .finish_non_exhaustive()
+    }
+}
+
+fn add_cache(dst: &mut CacheStats, src: &CacheStats) {
+    dst.accesses += src.accesses;
+    dst.hits += src.hits;
+    dst.hit_after_hit += src.hit_after_hit;
+    dst.hit_after_miss += src.hit_after_miss;
+    dst.cold_misses += src.cold_misses;
+    dst.capacity_conflict_misses += src.capacity_conflict_misses;
+    dst.mshr_merges += src.mshr_merges;
+    dst.merges_into_prefetch += src.merges_into_prefetch;
+    dst.reservation_fails += src.reservation_fails;
+    dst.evictions += src.evictions;
+}
+
+fn add_prefetch(dst: &mut PrefetchStats, src: &PrefetchStats) {
+    dst.issued += src.issued;
+    dst.dropped_duplicate += src.dropped_duplicate;
+    dst.dropped_no_resource += src.dropped_no_resource;
+    dst.useful += src.useful;
+    dst.late_merged += src.late_merged;
+    dst.early_evictions += src.early_evictions;
+    dst.useless_evictions += src.useless_evictions;
+}
+
+/// A minimal loose-round-robin scheduler used as the in-crate default and by
+/// unit tests; the full baseline-policy suite lives in `gpu-sched`.
+#[derive(Debug, Clone, Default)]
+pub struct SimpleRoundRobin {
+    last: Option<u32>,
+}
+
+impl WarpScheduler for SimpleRoundRobin {
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+
+    fn pick(
+        &mut self,
+        ready: &[crate::traits::ReadyWarp],
+        _ctx: &crate::traits::SchedCtx,
+    ) -> Option<gpu_common::WarpId> {
+        if ready.is_empty() {
+            return None;
+        }
+        let start = self.last.map_or(0, |l| l + 1);
+        let pick = ready
+            .iter()
+            .find(|r| r.id.0 >= start)
+            .unwrap_or(&ready[0])
+            .id;
+        self.last = Some(pick.0);
+        Some(pick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::NullPrefetcher;
+    use gpu_kernel::AddressPattern;
+
+    fn small_gpu(kernel: Kernel) -> Gpu {
+        let cfg = GpuConfig::small_test();
+        Gpu::new(
+            &cfg,
+            kernel,
+            &|_| Box::new(SimpleRoundRobin::default()),
+            &|_| Box::new(NullPrefetcher),
+        )
+    }
+
+    fn strided_kernel(iters: u64) -> Kernel {
+        // Grid-stride streaming: warp w, iteration i touches line w + 16·i —
+        // every access is to a fresh line (no aliasing, no reuse).
+        Kernel::builder("strided")
+            .load(AddressPattern::warp_strided(0, 128, 128 * 16, 4), &[])
+            .alu(8, &[0])
+            .iterations(iters)
+            .build()
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let res = small_gpu(strided_kernel(4)).run(2_000_000);
+        assert!(!res.timed_out);
+        // 16 warps × 2 instr × 4 iters.
+        assert_eq!(res.sim.instructions, 16 * 2 * 4);
+        assert_eq!(res.sim.loads, 16 * 4);
+        assert!(res.cycles > 0);
+        assert!(res.ipc() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = small_gpu(strided_kernel(6)).run(2_000_000);
+        let b = small_gpu(strided_kernel(6)).run(2_000_000);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.sim, b.sim);
+        assert_eq!(a.l1, b.l1);
+    }
+
+    #[test]
+    fn shared_stream_kernel_hits_cache() {
+        let k = Kernel::builder("shared")
+            .load(AddressPattern::shared_stream(0, 0), &[])
+            .alu(8, &[0])
+            .iterations(8)
+            .build();
+        let res = small_gpu(k).run(2_000_000);
+        assert!(!res.timed_out);
+        // All warps read the same address: one cold miss, rest hits/merges.
+        assert!(
+            res.l1.hit_rate() > 0.9,
+            "hit rate {} too low",
+            res.l1.hit_rate()
+        );
+        assert_eq!(res.l1.cold_misses, 1);
+    }
+
+    #[test]
+    fn thrashing_kernel_misses() {
+        // Strides far exceeding cache capacity with no reuse.
+        let res = small_gpu(strided_kernel(8)).run(2_000_000);
+        assert!(
+            res.l1.miss_rate() > 0.9,
+            "miss rate {} too low",
+            res.l1.miss_rate()
+        );
+        assert!(res.mem.bytes_to_sm > 0);
+        assert!(res.mem.avg_load_latency() > 100.0);
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let res = small_gpu(strided_kernel(50)).run(100);
+        assert!(res.timed_out);
+        assert_eq!(res.cycles, 100);
+    }
+
+    #[test]
+    fn speedup_over() {
+        let a = small_gpu(strided_kernel(4)).run(2_000_000);
+        let b = small_gpu(strided_kernel(4)).run(2_000_000);
+        assert!((a.speedup_over(&b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_events_populated() {
+        let res = small_gpu(strided_kernel(4)).run(2_000_000);
+        assert!(res.energy.alu_ops > 0);
+        assert!(res.energy.l1_accesses > 0);
+        assert!(res.energy.l2_accesses > 0);
+        assert!(res.energy.dram_accesses > 0);
+        assert!(res.energy.regfile_accesses > 0);
+    }
+
+    #[test]
+    fn dual_issue_raises_ipc_on_compute_kernels() {
+        let compute = || {
+            Kernel::builder("alu-heavy")
+                .alu(8, &[])
+                .alu(8, &[])
+                .alu(8, &[0])
+                .alu(8, &[1])
+                .iterations(64)
+                .build()
+        };
+        let single = small_gpu(compute()).run(2_000_000);
+        let mut cfg = GpuConfig::small_test();
+        cfg.core.issue_width = 2;
+        let dual = Gpu::new(
+            &cfg,
+            compute(),
+            &|_| Box::new(SimpleRoundRobin::default()),
+            &|_| Box::new(NullPrefetcher),
+        )
+        .run(2_000_000);
+        assert!(!dual.timed_out);
+        assert_eq!(single.sim.instructions, dual.sim.instructions);
+        assert!(
+            dual.cycles < single.cycles,
+            "dual {} vs single {}",
+            dual.cycles,
+            single.cycles
+        );
+        assert!(dual.ipc() > 1.05, "dual IPC {:.3}", dual.ipc());
+    }
+
+    #[test]
+    fn block_waves_refill_slots() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.core.waves_per_slot = 3;
+        let k = strided_kernel(4);
+        let gpu = Gpu::new(
+            &cfg,
+            k,
+            &|_| Box::new(SimpleRoundRobin::default()),
+            &|_| Box::new(NullPrefetcher),
+        );
+        let res = gpu.run(2_000_000);
+        assert!(!res.timed_out);
+        // 16 warps × 3 waves × 2 instructions × 4 iterations.
+        assert_eq!(res.sim.instructions, 16 * 3 * 2 * 4);
+        // Fresh blocks touch fresh data: loads triple.
+        assert_eq!(res.sim.loads, 16 * 3 * 4);
+    }
+
+    #[test]
+    fn launch_skew_delays_warps() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.core.launch_skew = 50;
+        let skewed = Gpu::new(
+            &cfg,
+            strided_kernel(4),
+            &|_| Box::new(SimpleRoundRobin::default()),
+            &|_| Box::new(NullPrefetcher),
+        )
+        .run(2_000_000);
+        let flat = small_gpu(strided_kernel(4)).run(2_000_000);
+        assert!(!skewed.timed_out);
+        assert!(
+            skewed.cycles > flat.cycles,
+            "skewed {} vs flat {}",
+            skewed.cycles,
+            flat.cycles
+        );
+        assert_eq!(skewed.sim.instructions, flat.sim.instructions);
+    }
+
+    #[test]
+    fn traced_run_records_pipeline_events() {
+        use crate::trace::{IssueKind, TraceEvent};
+        let (res, trace) = small_gpu(strided_kernel(4)).run_traced(2_000_000, 0, 1 << 16);
+        assert!(!res.timed_out);
+        assert!(!trace.is_empty());
+        // Cycles are non-decreasing.
+        assert!(trace.windows(2).all(|w| w[0].cycle() <= w[1].cycle()));
+        // Every instruction of SM 0 was recorded (buffer was large enough).
+        let issues = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Issue { .. }))
+            .count() as u64;
+        assert_eq!(issues, res.sim.instructions); // 1 SM in small_test
+        let loads = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Issue { kind: IssueKind::Load, .. }))
+            .count() as u64;
+        assert_eq!(loads, res.sim.loads);
+        // Each load produced exactly one head L1 access event.
+        let accesses = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::L1Access { .. }))
+            .count() as u64;
+        assert_eq!(accesses, loads);
+    }
+
+    #[test]
+    fn sampled_run_matches_plain_run() {
+        let plain = small_gpu(strided_kernel(6)).run(2_000_000);
+        let (sampled, samples) = small_gpu(strided_kernel(6)).run_sampled(2_000_000, 100);
+        assert_eq!(plain.cycles, sampled.cycles);
+        assert_eq!(plain.sim, sampled.sim);
+        assert!(!samples.is_empty());
+        // Interval IPCs average out to the aggregate (within quantisation).
+        let covered = samples.len() as f64 * 100.0;
+        let sum_instr: f64 = samples.iter().map(|s| s.ipc * 100.0).sum();
+        assert!(
+            (sum_instr - plain.sim.instructions as f64).abs() <= covered,
+            "sampled {} vs total {}",
+            sum_instr,
+            plain.sim.instructions
+        );
+    }
+
+    #[test]
+    fn barrier_synchronizes_warps() {
+        // A load with warp-dependent latency followed by a barrier: no warp
+        // may run ahead into iteration i+1 before all finish iteration i.
+        let k = Kernel::builder("sync")
+            .load(AddressPattern::warp_strided(0, 4096, 1 << 20, 4), &[])
+            .alu(8, &[0])
+            .barrier(&[1])
+            .alu(4, &[1])
+            .iterations(4)
+            .build();
+        let res = small_gpu(k).run(2_000_000);
+        assert!(!res.timed_out, "barrier must not deadlock");
+        assert_eq!(res.sim.instructions, 16 * 4 * 4);
+    }
+
+    #[test]
+    fn barrier_with_waves_does_not_deadlock() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.core.waves_per_slot = 2;
+        let k = Kernel::builder("sync")
+            .alu(8, &[])
+            .barrier(&[0])
+            .alu(4, &[0])
+            .iterations(3)
+            .build();
+        let gpu = Gpu::new(
+            &cfg,
+            k,
+            &|_| Box::new(SimpleRoundRobin::default()),
+            &|_| Box::new(NullPrefetcher),
+        );
+        let res = gpu.run(2_000_000);
+        assert!(!res.timed_out);
+        assert_eq!(res.sim.instructions, 16 * 2 * 3 * 3);
+    }
+
+    #[test]
+    fn stores_flow_through() {
+        let k = Kernel::builder("st")
+            .store(AddressPattern::warp_strided(0, 4096, 4096 * 16, 4), &[])
+            .iterations(3)
+            .build();
+        let res = small_gpu(k).run(2_000_000);
+        assert!(!res.timed_out);
+        assert_eq!(res.sim.stores, 16 * 3);
+        assert!(res.energy.dram_accesses > 0);
+    }
+}

@@ -1,0 +1,483 @@
+//! One streaming multiprocessor.
+//!
+//! Per cycle (driven by [`crate::gpu::Gpu`]):
+//!
+//! 1. **Fill** — line fills arriving from the memory system install into the
+//!    L1 and wake waiting loads;
+//! 2. **LSU** — one coalesced line request accesses the L1; a load's
+//!    head-line outcome is reported to the scheduler (which may trigger the
+//!    prefetcher) and to the prefetcher's training interface;
+//! 3. **Issue** — the scheduler picks one ready warp; its next instruction
+//!    issues (ALU results mature after their latency; memory instructions
+//!    enter the LSU);
+//! 4. **Drain** — L1 misses/stores/prefetches stream to the interconnect.
+
+use crate::lsu::{Lsu, MemOp};
+use crate::trace::{IssueKind, TraceBuffer, TraceEvent};
+use crate::traits::{
+    DemandAccess, PrefetchRequest, Prefetcher, ReadyWarp, SchedCtx, WarpScheduler,
+};
+use gpu_common::config::GpuConfig;
+use gpu_common::stats::{CacheStats, EnergyEvents, PrefetchStats, SimStats};
+use gpu_common::{Cycle, SmId, WarpId};
+use gpu_kernel::{Kernel, Op, PatternSampler, WarpProgram, WarpProgress};
+use gpu_mem::coalesce::coalesce;
+use gpu_mem::l1::L1Cache;
+use gpu_mem::memsys::MemorySystem;
+use gpu_mem::request::MemRequest;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Depth of the LSU instruction queue (structural hazard threshold).
+const LSU_QUEUE_DEPTH: usize = 16;
+
+/// One streaming multiprocessor executing `warps_per_sm` warps of a kernel.
+pub struct Sm {
+    id: SmId,
+    cfg: GpuConfig,
+    kernel: Arc<Kernel>,
+    sampler: PatternSampler,
+    warps: Vec<WarpProgress>,
+    /// Block wave currently occupying each warp slot (0-based).
+    wave: Vec<u32>,
+    finished_reported: Vec<bool>,
+    scheduler: Box<dyn WarpScheduler>,
+    prefetcher: Box<dyn Prefetcher>,
+    l1: L1Cache,
+    lsu: Lsu,
+    stats: SimStats,
+    energy: EnergyEvents,
+    ready_buf: Vec<ReadyWarp>,
+    /// Barrier rendezvous: (wave, iteration, body index) → warps arrived.
+    barriers: HashMap<(u32, u64, usize), Vec<WarpId>>,
+    trace: Option<TraceBuffer>,
+}
+
+impl Sm {
+    /// Builds an SM running `kernel` under the given policies.
+    pub fn new(
+        id: SmId,
+        cfg: &GpuConfig,
+        kernel: Arc<Kernel>,
+        scheduler: Box<dyn WarpScheduler>,
+        prefetcher: Box<dyn Prefetcher>,
+    ) -> Self {
+        let program = WarpProgram::new(kernel.clone());
+        let warps = (0..cfg.core.warps_per_sm)
+            .map(|_| program.start())
+            .collect::<Vec<_>>();
+        Sm {
+            id,
+            sampler: PatternSampler::new(kernel.seed(), cfg.core.warp_size as u32),
+            kernel,
+            wave: vec![0; warps.len()],
+            finished_reported: vec![false; warps.len()],
+            warps,
+            scheduler,
+            prefetcher,
+            l1: L1Cache::new(&cfg.l1),
+            lsu: Lsu::new(id, LSU_QUEUE_DEPTH),
+            stats: SimStats::default(),
+            energy: EnergyEvents::default(),
+            ready_buf: Vec::new(),
+            barriers: HashMap::new(),
+            trace: None,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Enables event tracing on this SM with a bounded buffer.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceBuffer::new(capacity));
+    }
+
+    /// Takes the trace buffer (if tracing was enabled), disabling tracing.
+    pub fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.trace.take()
+    }
+
+    #[inline]
+    fn record(&mut self, ev: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(ev);
+        }
+    }
+
+    /// `true` when every warp has retired and no memory op is in flight
+    /// locally.
+    pub fn is_finished(&self) -> bool {
+        self.warps.iter().all(WarpProgress::is_finished)
+            && self.lsu.is_drained()
+            && self.l1.outgoing_len() == 0
+    }
+
+    /// Executes one cycle. `mem` is the shared off-core memory system.
+    pub fn tick(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        self.apply_fills(now, mem);
+        self.lsu_stage(now, mem);
+        // Dual-issue SMs (Fermi+) run one scheduler pass per issue slot.
+        for _ in 0..self.cfg.core.issue_width.max(1) {
+            self.issue_stage(now);
+        }
+        self.drain_stage(now, mem);
+    }
+
+    fn apply_fills(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        for req in mem.drain_fills(self.id.index(), now) {
+            self.energy.l1_accesses += 1;
+            let fill = self.l1.fill(req.line, now);
+            self.record(TraceEvent::Fill {
+                cycle: now,
+                line: req.line,
+                woken: fill.waiting_loads.len() as u32,
+            });
+            for done in self.lsu.on_fill(&fill, now) {
+                self.complete_load(done.warp, done.body_idx, done.iter, done.ready_at);
+                mem.note_load_latency(done.ready_at.saturating_sub(done.issue_cycle));
+            }
+        }
+    }
+
+    fn lsu_stage(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        let before = self.l1.stats().accesses;
+        let activity = self.lsu.process_one(&mut self.l1, now);
+        if self.l1.stats().accesses != before {
+            self.energy.l1_accesses += 1;
+        }
+        for done in &activity.completions {
+            self.complete_load(done.warp, done.body_idx, done.iter, done.ready_at);
+            // Pure-hit loads also contribute to Fig. 13's average latency.
+            mem.note_load_latency(done.ready_at.saturating_sub(done.issue_cycle));
+        }
+        let Some(ev) = activity.head_event else {
+            return;
+        };
+        self.record(TraceEvent::L1Access {
+            cycle: now,
+            warp: ev.warp,
+            pc: ev.pc,
+            line: ev.line,
+            hit: ev.outcome.counts_as_hit(),
+        });
+        // Figure 5 wiring: LSU → scheduler (hit status), scheduler →
+        // prefetcher (warp group on miss), prefetcher → scheduler (targets).
+        let feedback = self.scheduler.on_l1_event(&ev);
+        let acc = DemandAccess {
+            sm: self.id,
+            warp: ev.warp,
+            pc: ev.pc,
+            addr: ev.addr,
+            line: ev.line,
+            hit: ev.outcome.counts_as_hit(),
+            now,
+        };
+        let mut prefetches = self.prefetcher.on_access(&acc);
+        if !feedback.prefetch_group.is_empty() {
+            prefetches.extend(
+                self.prefetcher
+                    .on_group_miss(&acc, &feedback.prefetch_group),
+            );
+        }
+        self.issue_prefetches(&prefetches, now);
+        // Completions from pure-hit ops were already handled above; latency
+        // accounting for them is folded in at the GPU level via hits'
+        // fixed latency, so only the wiring remains here.
+    }
+
+    fn issue_prefetches(&mut self, prefetches: &[PrefetchRequest], now: Cycle) {
+        if prefetches.is_empty() {
+            return;
+        }
+        let mut targets = Vec::with_capacity(prefetches.len());
+        for pf in prefetches {
+            let line = pf.addr.line(self.cfg.l1.line_bytes);
+            let req = MemRequest::prefetch(line, pf.source, self.id, pf.target_warp, gpu_common::Pc(0), now);
+            self.energy.l1_accesses += 1;
+            // Only *generated* prefetches promote their target warp ("after
+            // SAP generates a prefetch request, it sends the prefetched warp
+            // ID back to LAWS", Section IV-B); duplicates that were dropped
+            // because the line is already resident or inbound leave the
+            // schedule untouched.
+            if matches!(
+                self.l1.access(req, now),
+                gpu_mem::l1::L1AccessOutcome::PrefetchIssued
+            ) {
+                self.record(TraceEvent::Prefetch {
+                    cycle: now,
+                    target: pf.target_warp,
+                    line,
+                });
+                targets.push(pf.target_warp);
+            }
+        }
+        if !targets.is_empty() {
+            self.scheduler.on_prefetch_targets(&targets);
+        }
+    }
+
+    fn issue_stage(&mut self, now: Cycle) {
+        self.collect_ready(now);
+        if self.ready_buf.is_empty() {
+            self.stats.stall_cycles += 1;
+            self.classify_stall(now);
+            return;
+        }
+        let ctx = SchedCtx {
+            now,
+            mshr_occupancy: self.l1.mshr_occupancy(),
+            warps_per_sm: self.cfg.core.warps_per_sm,
+        };
+        let ready = std::mem::take(&mut self.ready_buf);
+        let picked = self.scheduler.pick(&ready, &ctx);
+        self.ready_buf = ready;
+        let Some(wid) = picked else {
+            self.stats.stall_cycles += 1;
+            return;
+        };
+        debug_assert!(
+            self.ready_buf.iter().any(|r| r.id == wid),
+            "scheduler picked a non-ready warp {wid}"
+        );
+        // Deterministic ±2-cycle producer jitter (operand-collector/RF-bank
+        // arbitration) keeps homogeneous warps from phase-locking into
+        // convoys.
+        let jitter = {
+            let mut h = wid.0 as u64 ^ (self.id.0 as u64) << 32;
+            h = h
+                .wrapping_add(self.warps[wid.index()].iter())
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (h >> 61) % 3
+        };
+        let issued = self.warps[wid.index()].issue_with_jitter(&self.kernel, now, jitter);
+        if self.trace.is_some() {
+            let kind = match issued.instr.op {
+                Op::Alu { .. } => IssueKind::Alu,
+                Op::LoadGlobal { .. } => IssueKind::Load,
+                Op::StoreGlobal { .. } => IssueKind::Store,
+                Op::Barrier => IssueKind::Barrier,
+            };
+            self.record(TraceEvent::Issue {
+                cycle: now,
+                warp: wid,
+                pc: issued.instr.pc,
+                kind,
+            });
+        }
+        self.stats.instructions += 1;
+        self.stats.active_lane_sum += u64::from(
+            issued
+                .instr
+                .active_lanes
+                .unwrap_or(self.cfg.core.warp_size as u32),
+        );
+        self.energy.regfile_accesses += 3; // two reads + one write, warp-wide
+        self.scheduler.on_issue(wid, now);
+        match issued.instr.op {
+            Op::Alu { .. } => {
+                self.energy.alu_ops += 1;
+            }
+            Op::Barrier => {
+                self.arrive_at_barrier(wid, issued.iter, issued.body_idx, now);
+            }
+            Op::LoadGlobal { slot } | Op::StoreGlobal { slot } => {
+                let is_load = issued.instr.op.is_load();
+                if is_load {
+                    self.stats.loads += 1;
+                    self.scheduler.on_load_issue(wid, issued.instr.pc, now);
+                } else {
+                    self.stats.stores += 1;
+                }
+                let lanes = issued
+                    .instr
+                    .active_lanes
+                    .unwrap_or(self.cfg.core.warp_size as u32);
+                let virtual_warp =
+                    wid.0 + self.wave[wid.index()] * self.cfg.core.warps_per_sm as u32;
+                let addrs = self.sampler.addresses(
+                    self.kernel.pattern(slot),
+                    self.id.0,
+                    virtual_warp,
+                    issued.iter,
+                    lanes,
+                );
+                let lines = coalesce(&addrs, self.cfg.l1.line_bytes);
+                self.lsu.push(MemOp {
+                    warp: wid,
+                    pc: issued.instr.pc,
+                    body_idx: issued.body_idx,
+                    iter: issued.iter,
+                    is_load,
+                    addr0: addrs[0],
+                    lines: lines.into_iter().collect(),
+                    issue_cycle: now,
+                    head_sent: false,
+                });
+            }
+        }
+        if self.warps[wid.index()].is_finished() {
+            if self.wave[wid.index()] + 1 < self.cfg.core.waves_per_slot {
+                // Block-wave replacement: the slot receives a fresh block.
+                self.wave[wid.index()] += 1;
+                self.warps[wid.index()] = WarpProgram::new(self.kernel.clone()).start();
+                self.scheduler.on_warp_launched(wid);
+            } else if !self.finished_reported[wid.index()] {
+                self.finished_reported[wid.index()] = true;
+                self.scheduler.on_warp_finished(wid);
+            }
+        }
+    }
+
+    /// Attributes an empty-ready-set cycle to a structural (LSU-full) or
+    /// dependency cause.
+    fn classify_stall(&mut self, now: Cycle) {
+        let lsu_room = self.lsu.has_room();
+        let store_room = self.lsu.has_store_room();
+        let mut structural = false;
+        for w in self.warps.iter() {
+            if w.can_issue(&self.kernel, now) {
+                // Only the LSU kept it out of the ready set.
+                let instr = w.current(&self.kernel).expect("can_issue");
+                let excluded = if instr.op.is_load() { !lsu_room } else { !store_room };
+                if instr.op.is_mem() && excluded {
+                    structural = true;
+                    break;
+                }
+            }
+        }
+        if structural {
+            self.stats.stall_lsu_full += 1;
+        } else {
+            self.stats.stall_dependency += 1;
+        }
+    }
+
+    /// Records `wid`'s arrival at a barrier; releases the whole wave when
+    /// every participating warp has arrived.
+    fn arrive_at_barrier(&mut self, wid: WarpId, iter: u64, body_idx: usize, now: Cycle) {
+        let wave = self.wave[wid.index()];
+        let key = (wave, iter, body_idx);
+        let arrived = self.barriers.entry(key).or_default();
+        arrived.push(wid);
+        // Participants: resident warps of the same wave that have not
+        // retired (a retired warp has already passed every barrier).
+        let participants = self
+            .warps
+            .iter()
+            .enumerate()
+            .filter(|(i, w)| self.wave[*i] == wave && !w.is_finished())
+            .count();
+        if arrived.len() >= participants {
+            let arrived = self.barriers.remove(&key).expect("just inserted");
+            let released = arrived.len() as u32;
+            for w in arrived {
+                self.warps[w.index()].release_barrier();
+            }
+            self.record(TraceEvent::BarrierRelease {
+                cycle: now,
+                body_idx,
+                released,
+            });
+        } else {
+            self.warps[wid.index()].block_at_barrier();
+        }
+    }
+
+    fn collect_ready(&mut self, now: Cycle) {
+        self.ready_buf.clear();
+        let lsu_room = self.lsu.has_room();
+        let store_room = self.lsu.has_store_room();
+        let skew = self.cfg.core.launch_skew;
+        for (i, w) in self.warps.iter().enumerate() {
+            // Warp i's thread block is handed to the SM at i × skew.
+            if now < i as Cycle * skew {
+                continue;
+            }
+            if !w.can_issue(&self.kernel, now) {
+                continue;
+            }
+            let instr = w.current(&self.kernel).expect("can_issue implies current");
+            let is_mem = instr.op.is_mem();
+            let is_load = instr.op.is_load();
+            if is_mem && ((is_load && !lsu_room) || (!is_load && !store_room)) {
+                continue; // structural hazard
+            }
+            self.ready_buf.push(ReadyWarp {
+                id: WarpId(i as u32),
+                next_is_mem: is_mem,
+                next_is_load: is_load,
+                next_pc: instr.pc,
+            });
+        }
+    }
+
+    fn drain_stage(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        for req in self.l1.drain_outgoing(self.cfg.noc.requests_per_cycle) {
+            mem.submit(self.id.index(), req, now);
+        }
+    }
+
+    fn complete_load(&mut self, warp: WarpId, body_idx: usize, iter: u64, ready: Cycle) {
+        self.warps[warp.index()].complete_load(body_idx, iter, ready);
+        self.energy.regfile_accesses += 1; // writeback
+    }
+
+    /// Issue/stall statistics of this SM.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// L1 demand statistics.
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.l1.stats()
+    }
+
+    /// Per-static-load L1 statistics.
+    pub fn per_pc_stats(&self) -> &std::collections::HashMap<gpu_common::Pc, gpu_mem::l1::PcStats> {
+        self.l1.per_pc_stats()
+    }
+
+    /// Prefetch statistics (early-eviction verdicts as of now).
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.l1.prefetch_stats()
+    }
+
+    /// Finalizes early-eviction verdicts (simulation end).
+    pub fn finalize_prefetch_stats(&mut self) -> PrefetchStats {
+        self.l1.finalize()
+    }
+
+    /// Energy event counts, including policy table accesses.
+    pub fn energy_events(&self) -> EnergyEvents {
+        let mut e = self.energy.clone();
+        e.apres_table_accesses =
+            self.scheduler.table_accesses() + self.prefetcher.table_accesses();
+        e
+    }
+
+    /// The active scheduler's name.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// The active prefetcher's name.
+    pub fn prefetcher_name(&self) -> &'static str {
+        self.prefetcher.name()
+    }
+
+    /// Number of warps that have fully retired.
+    pub fn finished_warps(&self) -> usize {
+        self.warps.iter().filter(|w| w.is_finished()).count()
+    }
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm")
+            .field("id", &self.id)
+            .field("kernel", &self.kernel.name())
+            .field("scheduler", &self.scheduler.name())
+            .field("prefetcher", &self.prefetcher.name())
+            .field("finished_warps", &self.finished_warps())
+            .finish_non_exhaustive()
+    }
+}

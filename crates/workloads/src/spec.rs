@@ -1,0 +1,384 @@
+//! Serialisable workload specifications.
+//!
+//! A [`KernelSpec`] is a plain-data description of a kernel — instruction
+//! list, address patterns, iterations, seed — that round-trips through
+//! serde (JSON on disk), so downstream users can version and share workload
+//! files instead of writing builder code. [`KernelSpec::build`] validates
+//! and lowers a spec into a [`Kernel`]; [`KernelSpec::from_kernel`] lifts
+//! any built kernel (including the bundled benchmarks) back into a spec.
+
+use gpu_kernel::{AddressPattern, Kernel, Op, StaticInstr};
+use serde::{Deserialize, Serialize};
+
+/// Serialisable form of one address pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum PatternSpec {
+    /// See [`AddressPattern::SharedStream`].
+    SharedStream {
+        /// First byte address.
+        base: u64,
+        /// Per-iteration advance in bytes.
+        iter_stride: i64,
+        /// Deviation probability.
+        #[serde(default)]
+        noise: f64,
+        /// Region deviations land in.
+        #[serde(default = "default_region")]
+        region_bytes: u64,
+    },
+    /// See [`AddressPattern::WarpStrided`].
+    WarpStrided {
+        /// First byte address.
+        base: u64,
+        /// Bytes between consecutive warp IDs.
+        warp_stride: i64,
+        /// Bytes advanced per loop iteration.
+        #[serde(default)]
+        iter_stride: i64,
+        /// Bytes between consecutive lanes.
+        #[serde(default = "default_lane_stride")]
+        lane_stride: u64,
+        /// Optional cyclic working-set wrap.
+        #[serde(default)]
+        wrap_bytes: Option<u64>,
+        /// Deviation probability.
+        #[serde(default)]
+        noise: f64,
+    },
+    /// See [`AddressPattern::Irregular`].
+    Irregular {
+        /// First byte address.
+        base: u64,
+        /// Total footprint.
+        working_set_bytes: u64,
+        /// Hot-region size.
+        hot_bytes: u64,
+        /// Hot-region probability.
+        hot_prob: f64,
+        /// Bytes between consecutive lanes.
+        #[serde(default)]
+        lane_spread: u64,
+    },
+}
+
+fn default_region() -> u64 {
+    64 * 1024
+}
+fn default_lane_stride() -> u64 {
+    4
+}
+
+impl From<&AddressPattern> for PatternSpec {
+    fn from(p: &AddressPattern) -> Self {
+        match *p {
+            AddressPattern::SharedStream {
+                base,
+                iter_stride,
+                noise,
+                region_bytes,
+            } => PatternSpec::SharedStream {
+                base,
+                iter_stride,
+                noise,
+                region_bytes,
+            },
+            AddressPattern::WarpStrided {
+                base,
+                warp_stride,
+                iter_stride,
+                lane_stride,
+                wrap_bytes,
+                noise,
+            } => PatternSpec::WarpStrided {
+                base,
+                warp_stride,
+                iter_stride,
+                lane_stride,
+                wrap_bytes,
+                noise,
+            },
+            AddressPattern::Irregular {
+                base,
+                working_set_bytes,
+                hot_bytes,
+                hot_prob,
+                lane_spread,
+            } => PatternSpec::Irregular {
+                base,
+                working_set_bytes,
+                hot_bytes,
+                hot_prob,
+                lane_spread,
+            },
+        }
+    }
+}
+
+impl PatternSpec {
+    /// Lowers the spec to a runtime pattern.
+    pub fn to_pattern(&self) -> AddressPattern {
+        match *self {
+            PatternSpec::SharedStream {
+                base,
+                iter_stride,
+                noise,
+                region_bytes,
+            } => AddressPattern::SharedStream {
+                base,
+                iter_stride,
+                noise,
+                region_bytes,
+            },
+            PatternSpec::WarpStrided {
+                base,
+                warp_stride,
+                iter_stride,
+                lane_stride,
+                wrap_bytes,
+                noise,
+            } => AddressPattern::WarpStrided {
+                base,
+                warp_stride,
+                iter_stride,
+                lane_stride,
+                wrap_bytes,
+                noise,
+            },
+            PatternSpec::Irregular {
+                base,
+                working_set_bytes,
+                hot_bytes,
+                hot_prob,
+                lane_spread,
+            } => AddressPattern::Irregular {
+                base,
+                working_set_bytes,
+                hot_bytes,
+                hot_prob,
+                lane_spread,
+            },
+        }
+    }
+}
+
+/// Serialisable form of one instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum InstrSpec {
+    /// Arithmetic with a producer latency.
+    Alu {
+        /// Producer latency in cycles.
+        latency: u64,
+        /// Body indices this instruction consumes.
+        #[serde(default)]
+        deps: Vec<usize>,
+    },
+    /// Global load; `pattern` drives its addresses.
+    Load {
+        /// Address pattern.
+        pattern: PatternSpec,
+        /// Body indices this instruction consumes.
+        #[serde(default)]
+        deps: Vec<usize>,
+        /// Explicit PC (auto-assigned when absent).
+        #[serde(default)]
+        pc: Option<u64>,
+        /// Active lanes (< warp size models divergence).
+        #[serde(default)]
+        active_lanes: Option<u32>,
+    },
+    /// Global store.
+    Store {
+        /// Address pattern.
+        pattern: PatternSpec,
+        /// Body indices this instruction consumes.
+        #[serde(default)]
+        deps: Vec<usize>,
+    },
+    /// Block-wide barrier.
+    Barrier {
+        /// Body indices this instruction consumes.
+        #[serde(default)]
+        deps: Vec<usize>,
+    },
+}
+
+/// Serialisable kernel description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Display name.
+    pub name: String,
+    /// Per-warp loop trips.
+    pub iterations: u64,
+    /// Workload randomness seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Instruction body in program order.
+    pub body: Vec<InstrSpec>,
+}
+
+impl KernelSpec {
+    /// Lowers the spec into a runnable [`Kernel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the builder's validation messages on malformed specs
+    /// (forward deps, duplicate PCs, empty body, zero iterations).
+    pub fn build(&self) -> Kernel {
+        let mut b = Kernel::builder(self.name.clone())
+            .seed(self.seed)
+            .iterations(self.iterations);
+        for ins in &self.body {
+            b = match ins {
+                InstrSpec::Alu { latency, deps } => b.alu(*latency, deps),
+                InstrSpec::Load {
+                    pattern,
+                    deps,
+                    pc,
+                    active_lanes,
+                } => {
+                    if let Some(pc) = pc {
+                        b = b.at_pc(*pc);
+                    }
+                    match active_lanes {
+                        Some(lanes) => b.load_diverged(pattern.to_pattern(), deps, *lanes),
+                        None => b.load(pattern.to_pattern(), deps),
+                    }
+                }
+                InstrSpec::Store { pattern, deps } => b.store(pattern.to_pattern(), deps),
+                InstrSpec::Barrier { deps } => b.barrier(deps),
+            };
+        }
+        b.build()
+    }
+
+    /// Lifts a built kernel back into a spec (PCs preserved explicitly).
+    pub fn from_kernel(kernel: &Kernel) -> Self {
+        let body = kernel
+            .body()
+            .iter()
+            .map(|ins: &StaticInstr| match ins.op {
+                Op::Alu { latency } => InstrSpec::Alu {
+                    latency,
+                    deps: ins.deps.clone(),
+                },
+                Op::LoadGlobal { slot } => InstrSpec::Load {
+                    pattern: PatternSpec::from(kernel.pattern(slot)),
+                    deps: ins.deps.clone(),
+                    pc: Some(ins.pc.0),
+                    active_lanes: ins.active_lanes,
+                },
+                Op::StoreGlobal { slot } => InstrSpec::Store {
+                    pattern: PatternSpec::from(kernel.pattern(slot)),
+                    deps: ins.deps.clone(),
+                },
+                Op::Barrier => InstrSpec::Barrier {
+                    deps: ins.deps.clone(),
+                },
+            })
+            .collect();
+        KernelSpec {
+            name: kernel.name().to_owned(),
+            iterations: kernel.iterations(),
+            seed: kernel.seed(),
+            body,
+        }
+    }
+
+    /// Parses a spec from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error for malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serialises the spec as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialisation is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+
+    #[test]
+    fn json_round_trip() {
+        let spec = KernelSpec {
+            name: "rt".into(),
+            iterations: 4,
+            seed: 7,
+            body: vec![
+                InstrSpec::Load {
+                    pattern: PatternSpec::WarpStrided {
+                        base: 0,
+                        warp_stride: 4096,
+                        iter_stride: 0,
+                        lane_stride: 4,
+                        wrap_bytes: Some(1 << 20),
+                        noise: 0.1,
+                    },
+                    deps: vec![],
+                    pc: Some(0xE8),
+                    active_lanes: None,
+                },
+                InstrSpec::Alu {
+                    latency: 8,
+                    deps: vec![0],
+                },
+            ],
+        };
+        let json = spec.to_json();
+        let back = KernelSpec::from_json(&json).unwrap();
+        assert_eq!(spec, back);
+        let k = back.build();
+        assert_eq!(k.body()[0].pc.0, 0xE8);
+        assert_eq!(k.iterations(), 4);
+    }
+
+    #[test]
+    fn every_benchmark_round_trips_through_spec() {
+        for b in Benchmark::ALL {
+            let k = b.kernel();
+            let spec = KernelSpec::from_kernel(&k);
+            let json = spec.to_json();
+            let rebuilt = KernelSpec::from_json(&json).unwrap().build();
+            // Loads keep PCs and patterns; ALU/store PCs are re-assigned,
+            // so compare load sites and patterns rather than whole bodies.
+            let a: Vec<_> = k.load_sites().collect();
+            let c: Vec<_> = rebuilt.load_sites().collect();
+            assert_eq!(a.len(), c.len(), "{}", b.label());
+            for ((_, pa, sa), (_, pb, sb)) in a.iter().zip(&c) {
+                assert_eq!(pa, pb, "{}", b.label());
+                assert_eq!(k.pattern(*sa), rebuilt.pattern(*sb), "{}", b.label());
+            }
+            assert_eq!(k.iterations(), rebuilt.iterations());
+            assert_eq!(k.seed(), rebuilt.seed());
+        }
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let json = r#"{
+            "name": "minimal",
+            "iterations": 2,
+            "body": [
+                {"op": "load", "pattern": {"kind": "warp_strided", "base": 0, "warp_stride": 128}},
+                {"op": "barrier", "deps": [0]}
+            ]
+        }"#;
+        let k = KernelSpec::from_json(json).unwrap().build();
+        assert_eq!(k.body().len(), 2);
+        assert!(k.body()[1].op.is_barrier());
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(KernelSpec::from_json("{not json").is_err());
+        assert!(KernelSpec::from_json(r#"{"name":"x"}"#).is_err());
+    }
+}

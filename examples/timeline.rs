@@ -1,0 +1,77 @@
+//! Time-series view of a run: per-interval IPC and L1 miss rate as a text
+//! sparkline, comparing baseline and APRES warm-up/phase behaviour on the
+//! KMeans-like workload.
+//!
+//! ```text
+//! cargo run --release --example timeline [APP]
+//! ```
+
+use apres::sm::gpu::Sample;
+use apres::{Benchmark, GpuConfig, SchedulerChoice};
+use gpu_prefetch::PrefetchEngine;
+use gpu_sched::SchedPolicy;
+use gpu_sm::Gpu;
+
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+    values
+        .iter()
+        .map(|v| BARS[((v / max) * 7.0).round().clamp(0.0, 7.0) as usize])
+        .collect()
+}
+
+fn run_sampled(bench: Benchmark, apres: bool) -> Vec<Sample> {
+    let mut cfg = GpuConfig::paper_baseline();
+    cfg.core.num_sms = 4;
+    let kernel = bench.kernel();
+    let gpu = if apres {
+        Gpu::new(
+            &cfg,
+            kernel,
+            &|_| Box::new(apres::Laws::new(&cfg.apres)),
+            &|_| Box::new(apres::Sap::new(&cfg.apres)),
+        )
+    } else {
+        Gpu::new(
+            &cfg,
+            kernel,
+            &|_| SchedPolicy::Lrr.make(),
+            &|_| PrefetchEngine::None.make(),
+        )
+    };
+    let (_, samples) = gpu.run_sampled(30_000_000, 512);
+    samples
+}
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .map(|name| {
+            Benchmark::ALL
+                .into_iter()
+                .find(|b| b.label().eq_ignore_ascii_case(&name))
+                .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+        })
+        .unwrap_or(Benchmark::Km);
+    // SchedulerChoice is re-exported for users who prefer the facade; this
+    // example drives Gpu directly to reach run_sampled.
+    let _ = SchedulerChoice::Laws;
+
+    println!("per-512-cycle samples on {} (4 SMs)\n", bench.label());
+    for (name, apres) in [("baseline", false), ("APRES", true)] {
+        let samples = run_sampled(bench, apres);
+        let ipc: Vec<f64> = samples.iter().map(|s| s.ipc).collect();
+        let miss: Vec<f64> = samples.iter().map(|s| s.l1_miss_rate).collect();
+        println!("{name:>8} IPC  {}", sparkline(&ipc));
+        println!("{:>8} miss {}", "", sparkline(&miss));
+        println!(
+            "{:>8}      {} samples, mean IPC {:.2}, mean miss {:.2}\n",
+            "",
+            samples.len(),
+            ipc.iter().sum::<f64>() / ipc.len().max(1) as f64,
+            miss.iter().sum::<f64>() / miss.len().max(1) as f64
+        );
+    }
+}

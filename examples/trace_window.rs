@@ -1,0 +1,91 @@
+//! Dump a window of pipeline events under LRR vs APRES — the interleavings
+//! behind the paper's Figure 6, read straight off the machine.
+//!
+//! ```text
+//! cargo run --release --example trace_window [APP] [N]
+//! ```
+
+use apres::sm::trace::{IssueKind, TraceEvent};
+use apres::{Benchmark, GpuConfig};
+use gpu_prefetch::PrefetchEngine;
+use gpu_sched::SchedPolicy;
+use gpu_sm::Gpu;
+
+fn show(ev: &TraceEvent) -> String {
+    match *ev {
+        TraceEvent::Issue { cycle, warp, pc, kind } => {
+            let k = match kind {
+                IssueKind::Alu => "alu ",
+                IssueKind::Load => "LD  ",
+                IssueKind::Store => "st  ",
+                IssueKind::Barrier => "bar ",
+            };
+            format!("{cycle:>7}  issue  {warp:<4} {k} {pc}")
+        }
+        TraceEvent::L1Access { cycle, warp, pc, line, hit } => format!(
+            "{cycle:>7}  L1     {warp:<4} {} {pc} {line}",
+            if hit { "HIT " } else { "MISS" }
+        ),
+        TraceEvent::Prefetch { cycle, target, line } => {
+            format!("{cycle:>7}  PREFETCH -> {target:<4} {line}")
+        }
+        TraceEvent::Fill { cycle, line, woken } => {
+            format!("{cycle:>7}  fill   {line} wakes {woken}")
+        }
+        TraceEvent::BarrierRelease { cycle, body_idx, released } => {
+            format!("{cycle:>7}  barrier[{body_idx}] releases {released}")
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args
+        .next()
+        .map(|name| {
+            Benchmark::ALL
+                .into_iter()
+                .find(|b| b.label().eq_ignore_ascii_case(&name))
+                .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+        })
+        .unwrap_or(Benchmark::Lud);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(40);
+
+    let mut cfg = GpuConfig::paper_baseline();
+    cfg.core.num_sms = 1;
+
+    for apres in [false, true] {
+        let kernel = bench.kernel_scaled(4);
+        let gpu = if apres {
+            Gpu::new(
+                &cfg,
+                kernel,
+                &|_| Box::new(apres::Laws::new(&cfg.apres)),
+                &|_| Box::new(apres::Sap::new(&cfg.apres)),
+            )
+        } else {
+            Gpu::new(
+                &cfg,
+                kernel,
+                &|_| SchedPolicy::Lrr.make(),
+                &|_| PrefetchEngine::None.make(),
+            )
+        };
+        let (res, trace) = gpu.run_traced(30_000_000, 0, 1 << 18);
+        println!(
+            "=== {} under {} ({} events, showing a mid-run window of {n}) ===",
+            bench.label(),
+            if apres { "APRES" } else { "LRR baseline" },
+            trace.len()
+        );
+        let start = trace.len() / 2;
+        for ev in trace.iter().skip(start).take(n) {
+            println!("{}", show(ev));
+        }
+        println!(
+            "... IPC {:.3}, L1 miss {:.1}%\n",
+            res.ipc(),
+            res.l1.miss_rate() * 100.0
+        );
+    }
+}

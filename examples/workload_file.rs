@@ -1,0 +1,43 @@
+//! Workload files: export a bundled benchmark as JSON, edit/reload it, and
+//! run the result — the downstream path for sharing custom workloads
+//! without writing Rust.
+//!
+//! ```text
+//! cargo run --release --example workload_file [APP]
+//! ```
+
+use apres::{Benchmark, GpuConfig, Simulation};
+use gpu_workloads::KernelSpec;
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .map(|name| {
+            Benchmark::ALL
+                .into_iter()
+                .find(|b| b.label().eq_ignore_ascii_case(&name))
+                .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+        })
+        .unwrap_or(Benchmark::Km);
+
+    // 1. Lift the bundled kernel into a plain-data spec and print it.
+    let spec = KernelSpec::from_kernel(&bench.kernel_scaled(8));
+    let json = spec.to_json();
+    println!("--- {}.kernel.json ---\n{json}\n", bench.label());
+
+    // 2. Round-trip through JSON (in a real workflow: edit the file).
+    let reloaded = KernelSpec::from_json(&json).expect("spec round-trips");
+    assert_eq!(spec, reloaded);
+
+    // 3. Build and run the reloaded kernel.
+    let mut cfg = GpuConfig::paper_baseline();
+    cfg.core.num_sms = 2;
+    let r = Simulation::new(reloaded.build()).config(cfg).apres().run();
+    println!(
+        "reloaded {} ran under APRES: {} cycles, IPC {:.3}, L1 miss {:.1}%",
+        bench.label(),
+        r.cycles,
+        r.ipc(),
+        r.l1.miss_rate() * 100.0
+    );
+}

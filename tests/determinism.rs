@@ -1,0 +1,82 @@
+//! Cross-crate integration: bit-exact determinism of full simulations.
+
+use apres::{Benchmark, GpuConfig, PrefetcherChoice, SchedulerChoice, Simulation};
+
+fn cfg() -> GpuConfig {
+    let mut c = GpuConfig::paper_baseline();
+    c.core.num_sms = 2;
+    c
+}
+
+fn run_once(b: Benchmark, s: SchedulerChoice, p: PrefetcherChoice) -> apres::RunResult {
+    Simulation::new(b.kernel_scaled(8))
+        .config(cfg())
+        .scheduler(s)
+        .prefetcher(p)
+        .max_cycles(5_000_000)
+        .run()
+}
+
+#[test]
+fn every_policy_combination_is_deterministic() {
+    let schedulers = [
+        SchedulerChoice::Lrr,
+        SchedulerChoice::Gto,
+        SchedulerChoice::TwoLevel,
+        SchedulerChoice::Ccws,
+        SchedulerChoice::Mascar,
+        SchedulerChoice::Pa,
+        SchedulerChoice::Laws,
+    ];
+    let prefetchers = [
+        PrefetcherChoice::None,
+        PrefetcherChoice::Str,
+        PrefetcherChoice::Sld,
+        PrefetcherChoice::Sap,
+    ];
+    for s in schedulers {
+        for p in prefetchers {
+            let a = run_once(Benchmark::Spmv, s, p);
+            let b = run_once(Benchmark::Spmv, s, p);
+            assert_eq!(a.cycles, b.cycles, "{s:?}+{p:?} cycles differ");
+            assert_eq!(a.sim, b.sim, "{s:?}+{p:?} sim stats differ");
+            assert_eq!(a.l1, b.l1, "{s:?}+{p:?} cache stats differ");
+            assert_eq!(a.prefetch, b.prefetch, "{s:?}+{p:?} prefetch stats differ");
+            assert_eq!(a.mem, b.mem, "{s:?}+{p:?} memory stats differ");
+        }
+    }
+}
+
+#[test]
+fn all_benchmarks_complete_under_apres() {
+    for b in Benchmark::ALL {
+        let r = run_once(b, SchedulerChoice::Laws, PrefetcherChoice::Sap);
+        assert!(!r.timed_out, "{} timed out", b.label());
+        assert!(r.ipc() > 0.0, "{} produced no work", b.label());
+        // 2 SMs × 48 warps × block waves × body × 8 iterations.
+        let waves = u64::from(cfg().core.waves_per_slot);
+        let expected = 2 * 48 * waves * b.kernel_scaled(8).dynamic_len();
+        assert_eq!(r.sim.instructions, expected, "{}", b.label());
+    }
+}
+
+#[test]
+fn different_seeds_change_behaviour_of_noisy_kernels() {
+    let base = Benchmark::Km.kernel_scaled(8);
+    let r1 = Simulation::new(base.clone()).config(cfg()).run();
+    // Rebuild with a different seed through the builder API.
+    let k2 = apres::Kernel::builder("KM-reseeded")
+        .seed(999)
+        .at_pc(0xE8)
+        .load(base.pattern(apres::kernel::LoadSlot(0)).clone(), &[])
+        .alu(8, &[0])
+        .alu(4, &[1])
+        .iterations(8)
+        .build();
+    let r2 = Simulation::new(k2).config(cfg()).run();
+    assert_ne!(
+        (r1.cycles, r1.l1.hits),
+        (r2.cycles, r2.l1.hits),
+        "noise must depend on the kernel seed"
+    );
+}

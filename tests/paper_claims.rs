@@ -1,0 +1,172 @@
+//! Integration tests asserting the qualitative claims of the paper that the
+//! reproduction must preserve (directions and orderings, not absolute
+//! numbers — see EXPERIMENTS.md).
+
+use apres::{
+    Benchmark, EnergyModel, GpuConfig, HwCost, PrefetcherChoice, RunResult, SchedulerChoice,
+    Simulation,
+};
+
+fn cfg() -> GpuConfig {
+    let mut c = GpuConfig::paper_baseline();
+    c.core.num_sms = 4;
+    c
+}
+
+fn run(b: Benchmark, s: SchedulerChoice, p: PrefetcherChoice) -> RunResult {
+    Simulation::new(b.kernel_scaled(16))
+        .config(cfg())
+        .scheduler(s)
+        .prefetcher(p)
+        .max_cycles(10_000_000)
+        .run()
+}
+
+fn geomean(v: &[f64]) -> f64 {
+    (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+}
+
+/// Section I / Fig. 10: APRES outperforms the baseline on memory-intensive
+/// applications on average.
+#[test]
+fn apres_beats_baseline_on_memory_intensive_geomean() {
+    let mut speedups = Vec::new();
+    for b in Benchmark::MEMORY_INTENSIVE {
+        let base = run(b, SchedulerChoice::Lrr, PrefetcherChoice::None);
+        let apres = run(b, SchedulerChoice::Laws, PrefetcherChoice::Sap);
+        speedups.push(apres.speedup_over(&base));
+    }
+    let gm = geomean(&speedups);
+    assert!(gm > 1.0, "memory-intensive geomean speedup {gm:.3} ≤ 1");
+}
+
+/// Table II: the APRES hardware budget is exactly 724 bytes.
+#[test]
+fn hardware_cost_matches_table_ii() {
+    let cost = HwCost::compute(&apres::common::config::ApresConfig::table_ii(), 48);
+    assert_eq!(cost.total_bytes(), 724);
+}
+
+/// Fig. 2: a 32 MB L1 eliminates most capacity/conflict misses on the
+/// thrashing workloads and speeds them up.
+#[test]
+fn huge_l1_removes_capacity_misses_on_km() {
+    let small = run(Benchmark::Km, SchedulerChoice::Lrr, PrefetcherChoice::None);
+    let mut big_cfg = cfg();
+    big_cfg.l1.capacity_bytes = 32 * 1024 * 1024;
+    let big = Simulation::new(Benchmark::Km.kernel_scaled(16))
+        .config(big_cfg)
+        .max_cycles(10_000_000)
+        .run();
+    let cc = |r: &RunResult| r.l1.capacity_conflict_misses as f64 / r.l1.accesses.max(1) as f64;
+    assert!(
+        cc(&big) < cc(&small) / 4.0,
+        "32MB L1 cap+conf {:.3} vs 32KB {:.3}",
+        cc(&big),
+        cc(&small)
+    );
+    assert!(big.speedup_over(&small) > 1.2, "{:.3}", big.speedup_over(&small));
+}
+
+/// Section V-C: APRES achieves a higher hit-after-hit ratio than the
+/// baseline on the cache-sensitive KM workload (group scheduling produces
+/// consecutive hits).
+#[test]
+fn apres_improves_hit_after_hit_on_km() {
+    let base = run(Benchmark::Km, SchedulerChoice::Lrr, PrefetcherChoice::None);
+    let apres = run(Benchmark::Km, SchedulerChoice::Laws, PrefetcherChoice::Sap);
+    assert!(
+        apres.l1.hit_after_hit_ratio() > base.l1.hit_after_hit_ratio(),
+        "APRES hh {:.3} vs baseline hh {:.3}",
+        apres.l1.hit_after_hit_ratio(),
+        base.l1.hit_after_hit_ratio()
+    );
+    assert!(apres.l1.miss_rate() < base.l1.miss_rate());
+}
+
+/// Section V-B: CCWS's throttling also beats the baseline on KM (the paper
+/// has CCWS strongest there).
+#[test]
+fn ccws_beats_baseline_on_km() {
+    let base = run(Benchmark::Km, SchedulerChoice::Lrr, PrefetcherChoice::None);
+    let ccws = run(Benchmark::Km, SchedulerChoice::Ccws, PrefetcherChoice::Str);
+    assert!(
+        ccws.speedup_over(&base) > 1.02,
+        "CCWS+STR on KM: {:.3}",
+        ccws.speedup_over(&base)
+    );
+}
+
+/// Figure 5's cooperation: on the strided LUD workload, APRES prefetches
+/// are plentiful, mostly correct, and rarely evicted early.
+#[test]
+fn sap_cooperation_on_lud() {
+    let apres = run(Benchmark::Lud, SchedulerChoice::Laws, PrefetcherChoice::Sap);
+    assert!(apres.prefetch.issued > 100, "{:?}", apres.prefetch);
+    assert!(
+        apres.prefetch.accuracy() > 0.5,
+        "accuracy {:.3}",
+        apres.prefetch.accuracy()
+    );
+    assert!(
+        apres.prefetch.early_eviction_ratio() < 0.3,
+        "early eviction {:.3}",
+        apres.prefetch.early_eviction_ratio()
+    );
+    let base = run(Benchmark::Lud, SchedulerChoice::Lrr, PrefetcherChoice::None);
+    assert!(apres.speedup_over(&base) > 1.0);
+}
+
+/// Section V-E: APRES's prefetch adaptivity keeps data traffic close to the
+/// baseline (within ±20% on every benchmark).
+#[test]
+fn apres_traffic_stays_bounded() {
+    for b in [Benchmark::Lud, Benchmark::Srad, Benchmark::Km, Benchmark::Cs] {
+        let base = run(b, SchedulerChoice::Lrr, PrefetcherChoice::None);
+        let apres = run(b, SchedulerChoice::Laws, PrefetcherChoice::Sap);
+        let ratio = apres.mem.bytes_to_sm as f64 / base.mem.bytes_to_sm.max(1) as f64;
+        assert!(
+            (0.5..1.2).contains(&ratio),
+            "{}: traffic ratio {ratio:.3}",
+            b.label()
+        );
+    }
+}
+
+/// Section V-F: the energy of APRES's own tables is under 3% of the total,
+/// and APRES does not increase total energy on its winning workloads.
+#[test]
+fn apres_energy_overhead_small() {
+    let model = EnergyModel::new();
+    let base = run(Benchmark::Lud, SchedulerChoice::Lrr, PrefetcherChoice::None);
+    let apres = run(Benchmark::Lud, SchedulerChoice::Laws, PrefetcherChoice::Sap);
+    let frac = model.apres_overhead_fraction(&apres, 4);
+    assert!(frac < 0.03, "table energy fraction {frac:.4}");
+    // Prefetch probes add L1 events, so per-app energy may rise somewhat —
+    // the paper sees the same on prefetch-heavy apps (ST, Section V-F,
+    // bounded below +10%); we allow a similar band and separately require
+    // that DRAM activity (the dominant energy term) stays bounded.
+    let norm = model.normalized(&apres, &base, 4);
+    assert!(norm < 1.2, "normalized energy {norm:.3}");
+    assert!(
+        (apres.energy.dram_accesses as f64)
+            < 1.2 * base.energy.dram_accesses.max(1) as f64,
+        "DRAM activity exploded: {} vs {}",
+        apres.energy.dram_accesses,
+        base.energy.dram_accesses
+    );
+}
+
+/// The large-stride premise of Section III-C: SLD cannot cover Table I's
+/// strides, so STR out-prefetches SLD on the large-stride KM workload.
+#[test]
+fn str_beats_sld_on_large_strides() {
+    let str_run = run(Benchmark::Km, SchedulerChoice::Lrr, PrefetcherChoice::Str);
+    let sld_run = run(Benchmark::Km, SchedulerChoice::Lrr, PrefetcherChoice::Sld);
+    assert!(
+        str_run.prefetch.correct() >= sld_run.prefetch.correct(),
+        "STR correct {} < SLD correct {}",
+        str_run.prefetch.correct(),
+        sld_run.prefetch.correct()
+    );
+}

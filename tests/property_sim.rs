@@ -1,0 +1,120 @@
+//! Property-based integration tests: random small kernels through the full
+//! simulator must preserve every accounting invariant under every policy.
+
+use apres::{
+    AddressPattern, GpuConfig, Kernel, PrefetcherChoice, RunResult, SchedulerChoice, Simulation,
+};
+use proptest::prelude::*;
+
+/// Strategy for one random address pattern with bounded footprints.
+fn pattern_strategy() -> impl Strategy<Value = AddressPattern> {
+    prop_oneof![
+        // Shared stream.
+        (0u64..4, 1i64..512, 0.0f64..0.5).prop_map(|(base, stride, noise)| {
+            AddressPattern::SharedStream {
+                base: base * 0x10_0000,
+                iter_stride: stride,
+                noise,
+                region_bytes: 64 * 1024,
+            }
+        }),
+        // Warp-strided, optionally wrapped/negative.
+        (
+            0u64..4,
+            prop_oneof![(-8192i64..-64), (64i64..8192)],
+            0i64..4096,
+            prop_oneof![Just(4u64), Just(64), Just(136)],
+            prop_oneof![Just(None), (64u64..4096).prop_map(|w| Some(w * 1024))],
+            0.0f64..0.5
+        )
+            .prop_map(|(base, ws, is, ls, wrap, noise)| AddressPattern::WarpStrided {
+                base: base * 0x10_0000,
+                warp_stride: ws,
+                iter_stride: is,
+                lane_stride: ls,
+                wrap_bytes: wrap,
+                noise,
+            }),
+        // Irregular.
+        (0u64..4, 16u64..512, 1u64..64, 0.0f64..1.0).prop_map(|(base, ws, hot, p)| {
+            AddressPattern::irregular(base * 0x10_0000, ws * 1024, hot * 1024, p)
+        }),
+    ]
+}
+
+/// Builds a random 2–6 instruction kernel: loads with the generated
+/// patterns, a dependent ALU chain, an optional store.
+fn kernel_strategy() -> impl Strategy<Value = Kernel> {
+    (
+        proptest::collection::vec(pattern_strategy(), 1..3),
+        1u64..6,   // iterations
+        0u64..999, // seed
+        any::<bool>(),
+    )
+        .prop_map(|(patterns, iters, seed, with_store)| {
+            let mut b = Kernel::builder("prop").seed(seed);
+            let n = patterns.len();
+            for p in patterns {
+                b = b.load(p, &[]);
+            }
+            let deps: Vec<usize> = (0..n).collect();
+            b = b.alu(8, &deps);
+            if with_store {
+                b = b.store(AddressPattern::warp_strided(0x40_0000, 128, 4096, 4), &[n]);
+            }
+            b.iterations(iters).build()
+        })
+}
+
+fn check(r: &RunResult, tag: &str) {
+    assert!(!r.timed_out, "{tag}: timed out");
+    assert_eq!(r.l1.hits + r.l1.misses(), r.l1.accesses, "{tag}");
+    assert_eq!(r.l1.hit_after_hit + r.l1.hit_after_miss, r.l1.hits, "{tag}");
+    assert_eq!(r.mem.completed_loads, r.sim.loads, "{tag}");
+    assert!(r.sim.loads + r.sim.stores <= r.sim.instructions, "{tag}");
+    // Per-PC stats are consistent with the aggregate.
+    let pc_acc: u64 = r.per_pc.iter().map(|(_, s)| s.accesses).sum();
+    let pc_hits: u64 = r.per_pc.iter().map(|(_, s)| s.hits).sum();
+    assert_eq!(pc_acc, r.l1.accesses, "{tag}: per-PC access sum");
+    assert_eq!(pc_hits, r.l1.hits, "{tag}: per-PC hit sum");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_kernels_preserve_invariants(kernel in kernel_strategy()) {
+        let mut cfg = GpuConfig::small_test();
+        cfg.core.warps_per_sm = 8;
+        for (s, p) in [
+            (SchedulerChoice::Lrr, PrefetcherChoice::None),
+            (SchedulerChoice::Laws, PrefetcherChoice::Sap),
+            (SchedulerChoice::Ccws, PrefetcherChoice::Str),
+        ] {
+            let r = Simulation::new(kernel.clone())
+                .config(cfg.clone())
+                .scheduler(s)
+                .prefetcher(p)
+                .max_cycles(2_000_000)
+                .run();
+            check(&r, &format!("{s:?}+{p:?} on {kernel:?}"));
+        }
+    }
+
+    #[test]
+    fn random_kernels_deterministic(kernel in kernel_strategy()) {
+        let cfg = GpuConfig::small_test();
+        let run = || {
+            Simulation::new(kernel.clone())
+                .config(cfg.clone())
+                .apres()
+                .max_cycles(2_000_000)
+                .run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.l1, b.l1);
+        prop_assert_eq!(a.per_pc, b.per_pc);
+    }
+}
