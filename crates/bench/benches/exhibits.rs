@@ -1,18 +1,38 @@
-//! Criterion benchmarks of the paper-exhibit regeneration pipelines, at a
-//! reduced scale (1–2 SMs, few iterations). Each bench exercises exactly
-//! the code path of the corresponding `fig*`/`table*` binary, so
-//! `cargo bench` continuously measures the cost of reproducing every table
-//! and figure.
+//! Benchmarks of the paper-exhibit regeneration pipelines, at a reduced
+//! scale (1–2 SMs, few iterations). Each bench exercises exactly the code
+//! path of the corresponding `fig*`/`table*` binary, so `cargo bench`
+//! continuously measures the cost of reproducing every table and figure.
+//!
+//! Plain `fn main` harness (`harness = false`); see `simulator.rs` for the
+//! measurement scheme.
 
 use apres_bench::{run_with_config, Combo, APRES, BASELINE, CCWS_STR};
 use apres_core::energy::EnergyModel;
 use apres_core::hw_cost::HwCost;
 use apres_core::sim::{PrefetcherChoice, SchedulerChoice};
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_common::config::ApresConfig;
 use gpu_common::GpuConfig;
+use gpu_sm::RunResult;
 use gpu_workloads::{characterize, Benchmark};
 use std::hint::black_box;
+use std::time::Instant;
+
+fn measure<F: FnMut()>(name: &str, iters: u64, reps: u32, mut f: F) {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per_iter = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per_iter);
+    }
+    if best >= 1e6 {
+        println!("{name:<28} {:>12.2} ms/iter", best / 1e6);
+    } else {
+        println!("{name:<28} {best:>12.1} ns/iter");
+    }
+}
 
 fn tiny_cfg() -> GpuConfig {
     let mut cfg = GpuConfig::paper_baseline();
@@ -20,72 +40,64 @@ fn tiny_cfg() -> GpuConfig {
     cfg
 }
 
-fn tiny_run(b: Benchmark, combo: Combo) -> gpu_sm::RunResult {
+fn tiny_run(b: Benchmark, combo: Combo) -> RunResult {
     run_with_config(b, combo, apres_bench::Scale::Fast, &tiny_cfg())
+        .expect("tiny exhibit point runs")
 }
 
-fn bench_exhibits(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exhibits");
-    g.sample_size(10);
+fn main() {
+    println!("exhibits");
 
-    g.bench_function("table1-characterize-km", |b| {
-        let k = Benchmark::Km.kernel_scaled(8);
-        let cfg = GpuConfig::paper_baseline();
-        b.iter(|| characterize(black_box(&k), &cfg, None))
+    let k = Benchmark::Km.kernel_scaled(8);
+    let cfg = GpuConfig::paper_baseline();
+    measure("  table1-characterize-km", 3, 3, || {
+        black_box(characterize(black_box(&k), &cfg, None));
     });
 
-    g.bench_function("table2-hw-cost", |b| {
-        b.iter(|| HwCost::compute(black_box(&ApresConfig::table_ii()), 48).total_bytes())
+    measure("  table2-hw-cost", 10_000, 3, || {
+        black_box(HwCost::compute(black_box(&ApresConfig::table_ii()), 48).total_bytes());
     });
 
-    g.bench_function("fig2-small-vs-huge-l1", |b| {
-        b.iter(|| {
-            let small = tiny_run(Benchmark::Spmv, BASELINE);
-            let mut huge_cfg = tiny_cfg();
-            huge_cfg.l1.capacity_bytes = 32 * 1024 * 1024;
-            let huge = run_with_config(
-                Benchmark::Spmv,
-                BASELINE,
-                apres_bench::Scale::Fast,
-                &huge_cfg,
-            );
-            huge.speedup_over(&small)
-        })
+    measure("  fig2-small-vs-huge-l1", 1, 3, || {
+        let small = tiny_run(Benchmark::Spmv, BASELINE);
+        let mut huge_cfg = tiny_cfg();
+        huge_cfg.l1.capacity_bytes = 32 * 1024 * 1024;
+        let huge = run_with_config(
+            Benchmark::Spmv,
+            BASELINE,
+            apres_bench::Scale::Fast,
+            &huge_cfg,
+        )
+        .expect("huge-L1 point runs");
+        black_box(huge.speedup_over(&small));
     });
 
-    g.bench_function("fig3-combo-point", |b| {
-        b.iter(|| {
+    measure("  fig3-combo-point", 1, 3, || {
+        black_box(
             tiny_run(
                 Benchmark::Lud,
                 Combo::new(SchedulerChoice::Gto, PrefetcherChoice::Str),
             )
-            .ipc()
-        })
+            .ipc(),
+        );
     });
 
-    g.bench_function("fig10-apres-point", |b| {
-        b.iter(|| tiny_run(Benchmark::Km, APRES).ipc())
+    measure("  fig10-apres-point", 1, 3, || {
+        black_box(tiny_run(Benchmark::Km, APRES).ipc());
     });
 
-    g.bench_function("fig12-early-eviction-point", |b| {
-        b.iter(|| {
+    measure("  fig12-early-eviction-point", 1, 3, || {
+        black_box(
             tiny_run(Benchmark::Lud, CCWS_STR)
                 .prefetch
-                .early_eviction_ratio()
-        })
+                .early_eviction_ratio(),
+        );
     });
 
-    g.bench_function("fig15-energy-point", |b| {
-        let model = EnergyModel::new();
-        b.iter(|| {
-            let base = tiny_run(Benchmark::Bp, BASELINE);
-            let apres = tiny_run(Benchmark::Bp, APRES);
-            model.normalized(&apres, &base, 1)
-        })
+    let model = EnergyModel::new();
+    measure("  fig15-energy-point", 1, 3, || {
+        let base = tiny_run(Benchmark::Bp, BASELINE);
+        let apres = tiny_run(Benchmark::Bp, APRES);
+        black_box(model.normalized(&apres, &base, 1));
     });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_exhibits);
-criterion_main!(benches);

@@ -1,10 +1,14 @@
-//! Criterion benchmarks of the simulator itself: wall-time to run
+//! Throughput benchmarks of the simulator itself: wall-time to run
 //! representative workloads under the baseline and APRES policy stacks,
 //! plus microbenchmarks of the hot substrate paths (cache access, MSHR
 //! registration, coalescing, address sampling).
+//!
+//! Plain `fn main` harness (`harness = false`): every measurement is a
+//! best-of-N wall-clock over a fixed iteration count, printed as ns/iter.
+//! The workspace is hermetic, so no external benchmarking framework is
+//! used.
 
 use apres_core::sim::{PrefetcherChoice, SchedulerChoice, Simulation};
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_common::config::{CacheConfig, Replacement};
 use gpu_common::{Addr, GpuConfig, LineAddr, Pc, SmId, WarpId};
 use gpu_kernel::{AddressPattern, PatternSampler};
@@ -14,6 +18,26 @@ use gpu_mem::mshr::MshrFile;
 use gpu_mem::request::MemRequest;
 use gpu_workloads::Benchmark;
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Runs `f` for `iters` iterations, `reps` times; prints the best rep as
+/// time per iteration.
+fn measure<F: FnMut()>(name: &str, iters: u64, reps: u32, mut f: F) {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per_iter = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per_iter);
+    }
+    if best >= 1e6 {
+        println!("{name:<28} {:>12.2} ms/iter", best / 1e6);
+    } else {
+        println!("{name:<28} {best:>12.1} ns/iter");
+    }
+}
 
 fn small_cfg() -> GpuConfig {
     let mut cfg = GpuConfig::paper_baseline();
@@ -21,32 +45,28 @@ fn small_cfg() -> GpuConfig {
     cfg
 }
 
-fn bench_full_runs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("full-sim");
-    g.sample_size(10);
+fn bench_full_runs() {
+    println!("full-sim");
     for (name, bench) in [("srad", Benchmark::Srad), ("km", Benchmark::Km)] {
-        g.bench_function(format!("{name}-baseline"), |b| {
-            b.iter(|| {
-                Simulation::new(bench.kernel_scaled(8))
-                    .config(small_cfg())
-                    .run()
-            })
+        measure(&format!("  {name}-baseline"), 1, 3, || {
+            let r = Simulation::new(bench.kernel_scaled(8))
+                .config(small_cfg())
+                .run();
+            black_box(r.expect("small config is valid").cycles);
         });
-        g.bench_function(format!("{name}-apres"), |b| {
-            b.iter(|| {
-                Simulation::new(bench.kernel_scaled(8))
-                    .config(small_cfg())
-                    .scheduler(SchedulerChoice::Laws)
-                    .prefetcher(PrefetcherChoice::Sap)
-                    .run()
-            })
+        measure(&format!("  {name}-apres"), 1, 3, || {
+            let r = Simulation::new(bench.kernel_scaled(8))
+                .config(small_cfg())
+                .scheduler(SchedulerChoice::Laws)
+                .prefetcher(PrefetcherChoice::Sap)
+                .run();
+            black_box(r.expect("small config is valid").cycles);
         });
     }
-    g.finish();
 }
 
-fn bench_substrate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate");
+fn bench_substrate() {
+    println!("substrate");
 
     let l1_cfg = CacheConfig {
         capacity_bytes: 32 * 1024,
@@ -58,59 +78,50 @@ fn bench_substrate(c: &mut Criterion) {
         replacement: Replacement::Lru,
         bypass: false,
     };
-    g.bench_function("tagstore-touch-fill", |b| {
-        let mut tags = TagStore::new(&l1_cfg);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(97);
-            let line = LineAddr(i % 1024);
-            if !tags.touch(black_box(line)) {
-                tags.fill(line, false, i);
-            }
-        })
+    let mut tags = TagStore::new(&l1_cfg);
+    let mut i = 0u64;
+    measure("  tagstore-touch-fill", 200_000, 3, || {
+        i = i.wrapping_add(97);
+        let line = LineAddr(i % 1024);
+        if !tags.touch(black_box(line)) {
+            tags.fill(line, false, i);
+        }
     });
 
-    g.bench_function("mshr-register-complete", |b| {
-        let mut mshrs = MshrFile::new(64, 8);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            let line = LineAddr(i % 48);
-            let req = MemRequest::load(line, SmId(0), WarpId((i % 48) as u32), Pc(0x10), 0, i, i);
-            mshrs.register(black_box(req));
-            if i.is_multiple_of(3) {
-                mshrs.complete(line);
-            }
-        })
+    let mut mshrs = MshrFile::new(64, 8);
+    let mut j = 0u64;
+    measure("  mshr-register-complete", 200_000, 3, || {
+        j = j.wrapping_add(1);
+        let line = LineAddr(j % 48);
+        let req = MemRequest::load(line, SmId(0), WarpId((j % 48) as u32), Pc(0x10), 0, j, j);
+        mshrs.register(black_box(req));
+        if j.is_multiple_of(3) {
+            mshrs.complete(line);
+        }
     });
 
-    g.bench_function("coalesce-32-lanes", |b| {
-        let addrs: Vec<Addr> = (0..32).map(|l| Addr::new(l * 136)).collect();
-        b.iter(|| coalesce(black_box(&addrs), 128))
+    let addrs: Vec<Addr> = (0..32).map(|l| Addr::new(l * 136)).collect();
+    measure("  coalesce-32-lanes", 200_000, 3, || {
+        black_box(coalesce(black_box(&addrs), 128));
     });
 
-    g.bench_function("pattern-sample-strided", |b| {
-        let s = PatternSampler::new(7, 32);
-        let p = AddressPattern::warp_strided(0, 4352, 0, 136).with_wrap(2 << 20);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            s.addresses(black_box(&p), 0, (i % 48) as u32, i, 32)
-        })
+    let s = PatternSampler::new(7, 32);
+    let p = AddressPattern::warp_strided(0, 4352, 0, 136).with_wrap(2 << 20);
+    let mut k = 0u64;
+    measure("  pattern-sample-strided", 100_000, 3, || {
+        k += 1;
+        black_box(s.addresses(black_box(&p), 0, (k % 48) as u32, k, 32));
     });
 
-    g.bench_function("pattern-sample-irregular", |b| {
-        let s = PatternSampler::new(7, 32);
-        let p = AddressPattern::irregular(0, 1 << 22, 1 << 16, 0.8);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            s.addresses(black_box(&p), 0, (i % 48) as u32, i, 16)
-        })
+    let pi = AddressPattern::irregular(0, 1 << 22, 1 << 16, 0.8);
+    let mut m = 0u64;
+    measure("  pattern-sample-irregular", 100_000, 3, || {
+        m += 1;
+        black_box(s.addresses(black_box(&pi), 0, (m % 48) as u32, m, 16));
     });
-
-    g.finish();
 }
 
-criterion_group!(benches, bench_full_runs, bench_substrate);
-criterion_main!(benches);
+fn main() {
+    bench_full_runs();
+    bench_substrate();
+}

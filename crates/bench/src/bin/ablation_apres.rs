@@ -18,29 +18,36 @@ use apres_core::sim::Simulation;
 use gpu_common::config::ApresConfig;
 use gpu_workloads::Benchmark;
 
-fn run_with(cfg_apres: ApresConfig, scale: Scale) -> gpu_sm::RunResult {
+fn run_with(label: &str, cfg_apres: ApresConfig, scale: Scale) -> Option<gpu_sm::RunResult> {
     let mut cfg = scale.config();
     cfg.apres = cfg_apres;
-    Simulation::new(Benchmark::Lud.kernel_scaled(scale.iterations(Benchmark::Lud)))
+    let outcome = Simulation::new(Benchmark::Lud.kernel_scaled(scale.iterations(Benchmark::Lud)))
         .config(cfg)
         .apres()
-        .run()
+        .run();
+    apres_bench::report_outcome(label, outcome)
 }
 
 fn main() {
     let scale = Scale::from_args();
-    let base = run_with(ApresConfig::default(), scale);
+    let Some(base) = run_with("default", ApresConfig::default(), scale) else {
+        eprintln!("baseline point failed; nothing to normalise against");
+        std::process::exit(1);
+    };
     println!("APRES design-parameter ablation on LUD (IPC relative to the default config)\n");
 
     let mut rows = Vec::new();
     for wgt in [1usize, 3, 6, 12, 24] {
-        let r = run_with(
+        let Some(r) = run_with(
+            &format!("wgt={wgt}"),
             ApresConfig {
                 wgt_entries: wgt,
                 ..ApresConfig::default()
             },
             scale,
-        );
+        ) else {
+            continue;
+        };
         rows.push(vec![
             format!("WGT entries = {wgt}"),
             format!("{:.3}", r.ipc() / base.ipc()),
@@ -49,13 +56,16 @@ fn main() {
         ]);
     }
     for pt in [1usize, 4, 10, 32] {
-        let r = run_with(
+        let Some(r) = run_with(
+            &format!("pt={pt}"),
             ApresConfig {
                 pt_entries: pt,
                 ..ApresConfig::default()
             },
             scale,
-        );
+        ) else {
+            continue;
+        };
         rows.push(vec![
             format!("PT entries = {pt}"),
             format!("{:.3}", r.ipc() / base.ipc()),
@@ -64,13 +74,16 @@ fn main() {
         ]);
     }
     for budget in [2usize, 8, 16, 47] {
-        let r = run_with(
+        let Some(r) = run_with(
+            &format!("budget={budget}"),
             ApresConfig {
                 max_prefetches_per_miss: budget,
                 ..ApresConfig::default()
             },
             scale,
-        );
+        ) else {
+            continue;
+        };
         rows.push(vec![
             format!("prefetch budget = {budget}"),
             format!("{:.3}", r.ipc() / base.ipc()),

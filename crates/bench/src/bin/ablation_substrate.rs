@@ -15,14 +15,15 @@ use apres_core::sim::Simulation;
 use gpu_common::config::{DramRowPolicy, GpuConfig, Replacement};
 use gpu_workloads::Benchmark;
 
-fn run(bench: Benchmark, cfg: &GpuConfig, apres: bool, scale: Scale) -> gpu_sm::RunResult {
+fn run(bench: Benchmark, cfg: &GpuConfig, apres: bool, scale: Scale) -> Option<gpu_sm::RunResult> {
     let sim = Simulation::new(bench.kernel_scaled(scale.iterations(bench))).config(cfg.clone());
     let sim = if apres {
         sim.apres()
     } else {
         sim.scheduler(BASELINE.sched).prefetcher(BASELINE.pf)
     };
-    sim.run()
+    let label = format!("{}/{}", bench.label(), if apres { "APRES" } else { "baseline" });
+    apres_bench::report_outcome(&label, sim.run())
 }
 
 fn main() {
@@ -34,8 +35,12 @@ fn main() {
     for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Mru] {
         let mut cfg = scale.config();
         cfg.l1.replacement = policy;
-        let b = run(Benchmark::Km, &cfg, false, scale);
-        let a = run(Benchmark::Km, &cfg, true, scale);
+        let (Some(b), Some(a)) = (
+            run(Benchmark::Km, &cfg, false, scale),
+            run(Benchmark::Km, &cfg, true, scale),
+        ) else {
+            continue;
+        };
         rows.push(vec![
             format!("{policy:?}"),
             format!("{:.3}", b.ipc()),
@@ -51,8 +56,12 @@ fn main() {
         for policy in [DramRowPolicy::Uniform, DramRowPolicy::FrFcfsRowBuffer] {
             let mut cfg = scale.config();
             cfg.dram.row_policy = policy;
-            let b = run(bench, &cfg, false, scale);
-            let a = run(bench, &cfg, true, scale);
+            let (Some(b), Some(a)) = (
+                run(bench, &cfg, false, scale),
+                run(bench, &cfg, true, scale),
+            ) else {
+                continue;
+            };
             rows.push(vec![
                 format!("{} / {policy:?}", bench.label()),
                 format!("{:.3}", b.ipc()),

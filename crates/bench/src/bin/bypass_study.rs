@@ -20,26 +20,45 @@ fn main() {
         bypass_cfg.l1.bypass = true;
         base_cfg.l1.bypass = false;
 
-        let base = Simulation::new(kernel())
-            .config(base_cfg.clone())
-            .scheduler(BASELINE.sched)
-            .prefetcher(BASELINE.pf)
-            .run();
-        let bypass = Simulation::new(kernel())
-            .config(bypass_cfg.clone())
-            .scheduler(BASELINE.sched)
-            .prefetcher(BASELINE.pf)
-            .run();
-        let apres = Simulation::new(kernel())
-            .config(base_cfg)
-            .scheduler(APRES.sched)
-            .prefetcher(APRES.pf)
-            .run();
-        let both = Simulation::new(kernel())
-            .config(bypass_cfg)
-            .scheduler(APRES.sched)
-            .prefetcher(APRES.pf)
-            .run();
+        let point = |tag: &str, outcome| {
+            apres_bench::report_outcome(&format!("{}/{tag}", bench.label()), outcome)
+        };
+        let base = point(
+            "base",
+            Simulation::new(kernel())
+                .config(base_cfg.clone())
+                .scheduler(BASELINE.sched)
+                .prefetcher(BASELINE.pf)
+                .run(),
+        );
+        let bypass = point(
+            "bypass",
+            Simulation::new(kernel())
+                .config(bypass_cfg.clone())
+                .scheduler(BASELINE.sched)
+                .prefetcher(BASELINE.pf)
+                .run(),
+        );
+        let apres = point(
+            "apres",
+            Simulation::new(kernel())
+                .config(base_cfg)
+                .scheduler(APRES.sched)
+                .prefetcher(APRES.pf)
+                .run(),
+        );
+        let both = point(
+            "both",
+            Simulation::new(kernel())
+                .config(bypass_cfg)
+                .scheduler(APRES.sched)
+                .prefetcher(APRES.pf)
+                .run(),
+        );
+        let (Some(base), Some(bypass), Some(apres), Some(both)) = (base, bypass, apres, both)
+        else {
+            continue;
+        };
         rows.push(vec![
             bench.label().to_owned(),
             format!("{:.3}", bypass.speedup_over(&base)),

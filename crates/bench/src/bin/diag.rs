@@ -8,10 +8,11 @@ use gpu_workloads::Benchmark;
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "SRAD".into());
     let scale = Scale::from_args();
-    let bench = Benchmark::ALL
-        .into_iter()
-        .find(|b| b.label() == name)
-        .expect("unknown benchmark");
+    let Some(bench) = Benchmark::ALL.into_iter().find(|b| b.label() == name) else {
+        let known: Vec<&str> = Benchmark::ALL.iter().map(|b| b.label()).collect();
+        eprintln!("unknown benchmark {name:?}; known: {}", known.join(" "));
+        std::process::exit(2);
+    };
     let combos = [
         Combo::new(SchedulerChoice::Lrr, PrefetcherChoice::None),
         Combo::new(SchedulerChoice::Lrr, PrefetcherChoice::Str),
@@ -26,7 +27,9 @@ fn main() {
         "pf_usls", "avg_lat", "st_lsu", "st_dep", "mshr_rej"
     );
     for c in combos {
-        let r = run(bench, c, scale);
+        let Some(r) = run(bench, c, scale) else {
+            continue;
+        };
         println!(
             "{:<10} {:>9} {:>6.3} {:>6.2} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9.1} {:>8} {:>8} {:>9}{}",
             c.label(),
@@ -42,7 +45,11 @@ fn main() {
             r.sim.stall_lsu_full,
             r.sim.stall_dependency,
             r.l1.reservation_fails,
-            if r.timed_out { " TIMEOUT" } else { "" },
+            if r.termination.is_drained() {
+                String::new()
+            } else {
+                format!(" {}", r.termination)
+            },
         );
     }
 }

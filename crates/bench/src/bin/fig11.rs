@@ -30,7 +30,9 @@ fn main() {
     let mut rows = Vec::new();
     for b in Benchmark::ALL {
         for (tag, c) in &combos {
-            let r = run(b, *c, scale);
+            let Some(r) = run(b, *c, scale) else {
+                continue;
+            };
             let [hh, hm, cold, cc] = breakdown(&r);
             rows.push(vec![
                 format!("{} ({tag})", b.label()),

@@ -9,8 +9,9 @@ fn main() {
     let mut rows = Vec::new();
     let (mut s_all, mut a_all) = (Vec::new(), Vec::new());
     for b in Benchmark::ALL {
-        let s = run(b, CCWS_STR, scale);
-        let a = run(b, APRES, scale);
+        let (Some(s), Some(a)) = (run(b, CCWS_STR, scale), run(b, APRES, scale)) else {
+            continue;
+        };
         let (se, ae) = (
             s.prefetch.early_eviction_ratio(),
             a.prefetch.early_eviction_ratio(),

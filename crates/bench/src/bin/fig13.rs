@@ -10,9 +10,13 @@ fn main() {
     let mut rows = Vec::new();
     let (mut s_all, mut a_all) = (Vec::new(), Vec::new());
     for b in Benchmark::ALL {
-        let base = run(b, BASELINE, scale);
-        let s = run(b, CCWS_STR, scale);
-        let a = run(b, APRES, scale);
+        let (Some(base), Some(s), Some(a)) = (
+            run(b, BASELINE, scale),
+            run(b, CCWS_STR, scale),
+            run(b, APRES, scale),
+        ) else {
+            continue;
+        };
         let norm = |r: &gpu_sm::RunResult| {
             let b = base.mem.avg_load_latency();
             if b == 0.0 { 0.0 } else { r.mem.avg_load_latency() / b }

@@ -10,9 +10,13 @@ fn main() {
     let mut rows = Vec::new();
     let (mut s_all, mut a_all) = (Vec::new(), Vec::new());
     for b in Benchmark::ALL {
-        let base = run(b, BASELINE, scale);
-        let s = run(b, CCWS_STR, scale);
-        let a = run(b, APRES, scale);
+        let (Some(base), Some(s), Some(a)) = (
+            run(b, BASELINE, scale),
+            run(b, CCWS_STR, scale),
+            run(b, APRES, scale),
+        ) else {
+            continue;
+        };
         let norm = |r: &gpu_sm::RunResult| {
             let bb = base.mem.bytes_to_sm.max(1) as f64;
             r.mem.bytes_to_sm as f64 / bb

@@ -13,9 +13,13 @@ fn main() {
     let mut rows = Vec::new();
     let (mut s_all, mut a_all) = (Vec::new(), Vec::new());
     for b in Benchmark::ALL {
-        let base = run(b, BASELINE, scale);
-        let s = run(b, CCWS_STR, scale);
-        let a = run(b, APRES, scale);
+        let (Some(base), Some(s), Some(a)) = (
+            run(b, BASELINE, scale),
+            run(b, CCWS_STR, scale),
+            run(b, APRES, scale),
+        ) else {
+            continue;
+        };
         let sn = model.normalized(&s, &base, sms);
         let an = model.normalized(&a, &base, sms);
         s_all.push(sn);

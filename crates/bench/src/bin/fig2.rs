@@ -20,8 +20,12 @@ fn main() {
     println!("Figure 2 — L1 miss breakdown, 32KB (B) vs 32MB (C) L1\n");
     let mut rows = Vec::new();
     for b in Benchmark::ALL {
-        let small = run_with_config(b, BASELINE, scale, &base_cfg);
-        let huge = run_with_config(b, BASELINE, scale, &huge_cfg);
+        let (Some(small), Some(huge)) = (
+            run_with_config(b, BASELINE, scale, &base_cfg),
+            run_with_config(b, BASELINE, scale, &huge_cfg),
+        ) else {
+            continue;
+        };
         let total = |r: &gpu_sm::RunResult| r.l1.accesses.max(1) as f64;
         rows.push(vec![
             b.label().to_owned(),

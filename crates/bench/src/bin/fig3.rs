@@ -29,10 +29,15 @@ fn main() {
     let mut rows = Vec::new();
     let mut per_combo: Vec<Vec<f64>> = vec![Vec::new(); combos.len()];
     for b in Benchmark::ALL {
-        let base = run(b, BASELINE, scale);
+        let Some(base) = run(b, BASELINE, scale) else {
+            continue;
+        };
         let mut row = vec![b.label().to_owned()];
         for (i, c) in combos.iter().enumerate() {
-            let r = run(b, *c, scale);
+            let Some(r) = run(b, *c, scale) else {
+                row.push("-".to_owned());
+                continue;
+            };
             let s = r.speedup_over(&base);
             per_combo[i].push(s);
             row.push(format!("{s:.3}"));

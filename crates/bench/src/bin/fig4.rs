@@ -23,7 +23,10 @@ fn main() {
     for b in Benchmark::ALL {
         let mut row = vec![b.label().to_owned()];
         for (i, s) in scheds.iter().enumerate() {
-            let r = run(b, Combo::new(*s, PrefetcherChoice::Str), scale);
+            let Some(r) = run(b, Combo::new(*s, PrefetcherChoice::Str), scale) else {
+                row.push("-".to_owned());
+                continue;
+            };
             let e = r.prefetch.early_eviction_ratio();
             per_sched[i].push(e);
             row.push(format!("{:.3}", e));

@@ -19,6 +19,9 @@ fn main() {
         let t0 = Instant::now();
         let apres = run(b, APRES, scale);
         let t2 = t0.elapsed().as_secs_f64();
+        let (Some(base), Some(apres)) = (base, apres) else {
+            continue;
+        };
         println!(
             "{:<6} {:>10} {:>7.3} {:>6.2} {:>7.2} | {:>10} {:>7.3} {:>8.3} {:>7.2}{}{}",
             b.label(),
@@ -30,8 +33,16 @@ fn main() {
             apres.ipc(),
             apres.speedup_over(&base),
             t2,
-            if base.timed_out { " BASE-TIMEOUT" } else { "" },
-            if apres.timed_out { " APRES-TIMEOUT" } else { "" },
+            if base.termination.is_drained() {
+                String::new()
+            } else {
+                format!(" base:{}", base.termination)
+            },
+            if apres.termination.is_drained() {
+                String::new()
+            } else {
+                format!(" apres:{}", apres.termination)
+            },
         );
     }
 }

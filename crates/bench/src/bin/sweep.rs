@@ -18,7 +18,11 @@ fn main() {
             Benchmark::ALL
                 .into_iter()
                 .find(|b| b.label().eq_ignore_ascii_case(&name))
-                .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+                .unwrap_or_else(|| {
+                    let known: Vec<&str> = Benchmark::ALL.iter().map(|b| b.label()).collect();
+                    eprintln!("unknown benchmark {name:?}; known: {}", known.join(" "));
+                    std::process::exit(2);
+                })
         })
         .unwrap_or(Benchmark::Km);
     let kernel = || bench.kernel_scaled(scale.iterations(bench));
@@ -33,6 +37,9 @@ fn main() {
             .scheduler(BASELINE.sched)
             .prefetcher(BASELINE.pf)
             .run();
+        let Some(r) = apres_bench::report_outcome(&format!("l1={kb}KB"), r) else {
+            continue;
+        };
         rows.push(vec![
             format!("{kb} KB"),
             format!("{:.3}", r.ipc()),
@@ -60,6 +67,12 @@ fn main() {
             .scheduler(APRES.sched)
             .prefetcher(APRES.pf)
             .run();
+        let (Some(base), Some(apres)) = (
+            apres_bench::report_outcome(&format!("warps={warps} base"), base),
+            apres_bench::report_outcome(&format!("warps={warps} apres"), apres),
+        ) else {
+            continue;
+        };
         rows.push(vec![
             format!("{warps}"),
             format!("{:.3}", base.ipc()),

@@ -18,11 +18,19 @@
 //! | `fig15`  | Fig. 15  | normalized dynamic energy |
 //!
 //! Pass `--fast` to any binary for a reduced scale (fewer SMs/iterations;
-//! same qualitative shape, minutes → seconds). The `criterion` benches in
+//! same qualitative shape, minutes → seconds). The timing harnesses in
 //! `benches/` measure simulator throughput itself.
+//!
+//! All exhibit binaries go through the crash-safe [`run`] /
+//! [`run_with_config`] entry points: a data point whose simulation fails
+//! with a typed [`SimError`] (invalid geometry, watchdog-diagnosed
+//! deadlock, …) is reported on stderr and skipped, so one bad point never
+//! aborts a whole sweep. Points that exhausted their cycle budget instead
+//! of draining are flagged on stderr too.
 
 use apres_core::sim::{PrefetcherChoice, SchedulerChoice, Simulation};
 use gpu_common::config::GpuConfig;
+use gpu_common::error::{SimError, SimResult};
 use gpu_sm::RunResult;
 use gpu_workloads::Benchmark;
 
@@ -97,23 +105,60 @@ impl Scale {
     }
 }
 
-/// Runs one benchmark under one policy combination.
-pub fn run(bench: Benchmark, combo: Combo, scale: Scale) -> RunResult {
+/// Runs one benchmark under one policy combination, crash-safe: a typed
+/// simulation failure is reported on stderr and yields `None` so sweeps
+/// skip the point instead of aborting.
+pub fn run(bench: Benchmark, combo: Combo, scale: Scale) -> Option<RunResult> {
     run_with_config(bench, combo, scale, &scale.config())
 }
 
-/// Runs with an explicit GPU configuration (Fig. 2 uses a 32 MB L1).
+/// Crash-safe variant of [`try_run_with_config`] (Fig. 2 uses a 32 MB L1).
 pub fn run_with_config(
     bench: Benchmark,
     combo: Combo,
     scale: Scale,
     cfg: &GpuConfig,
-) -> RunResult {
+) -> Option<RunResult> {
+    let label = format!("{}/{}", bench.label(), combo.label());
+    report_outcome(&label, try_run_with_config(bench, combo, scale, cfg))
+}
+
+/// Runs one data point, propagating any [`SimError`] to the caller.
+pub fn try_run_with_config(
+    bench: Benchmark,
+    combo: Combo,
+    scale: Scale,
+    cfg: &GpuConfig,
+) -> SimResult<RunResult> {
     Simulation::new(bench.kernel_scaled(scale.iterations(bench)))
         .config(cfg.clone())
         .scheduler(combo.sched)
         .prefetcher(combo.pf)
         .run()
+}
+
+/// Converts one data point's outcome into the crash-safe form: `Err`
+/// becomes a stderr diagnostic plus `None`; a budget-exhausted run is kept
+/// but flagged so truncated numbers are never silently mixed with drained
+/// ones.
+pub fn report_outcome(label: &str, outcome: SimResult<RunResult>) -> Option<RunResult> {
+    match outcome {
+        Ok(r) => {
+            if !r.termination.is_drained() {
+                eprintln!("warning: {label}: {} (stats are truncated)", r.termination);
+            }
+            Some(r)
+        }
+        Err(e) => {
+            eprintln!("skipped {label}: [{}] {e}", e.class());
+            None
+        }
+    }
+}
+
+/// `report_outcome` with a plain error (no run to keep).
+pub fn report_error(label: &str, e: &SimError) {
+    eprintln!("skipped {label}: [{}] {e}", e.class());
 }
 
 /// Geometric mean of positive values (the paper averages speedups this
@@ -244,8 +289,19 @@ mod tests {
 
     #[test]
     fn fast_run_completes() {
-        let r = run(Benchmark::Hs, BASELINE, Scale::Fast);
+        let r = run(Benchmark::Hs, BASELINE, Scale::Fast).expect("valid point runs");
         assert!(!r.timed_out);
+        assert!(r.termination.is_drained());
         assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn invalid_config_point_is_skipped_not_fatal() {
+        let mut cfg = Scale::Fast.config();
+        cfg.l1.ways = 0;
+        assert!(run_with_config(Benchmark::Hs, BASELINE, Scale::Fast, &cfg).is_none());
+        let err = try_run_with_config(Benchmark::Hs, BASELINE, Scale::Fast, &cfg)
+            .expect_err("zero ways must be rejected");
+        assert_eq!(err.class(), "config-validation");
     }
 }

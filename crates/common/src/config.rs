@@ -3,6 +3,13 @@
 //! The hierarchy mirrors Table III of the paper; [`GpuConfig::paper_baseline`]
 //! reproduces it exactly (15 SMs, 48 warps/SM, 32 KB 8-way L1 with 64 MSHRs,
 //! 768 KB 8-way L2 at 200 cycles, 6 DRAM partitions at 440 cycles).
+//!
+//! Validation is typed: [`GpuConfig::validate`] returns a
+//! [`SimError::ConfigValidation`] naming the offending field, and is run
+//! exactly once when a simulation is constructed. Geometry accessors such as
+//! [`CacheConfig::checked_num_sets`] never panic.
+
+use crate::error::{SimError, SimResult};
 
 /// Replacement policy of a set-associative cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -41,25 +48,78 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Number of sets implied by capacity, associativity and line size.
     ///
-    /// # Panics
-    ///
-    /// Panics if the geometry does not divide evenly or the set count is not
-    /// a power of two.
+    /// Assumes a configuration that already passed
+    /// [`CacheConfig::checked_num_sets`] / [`GpuConfig::validate`]; on an
+    /// unvalidated geometry it simply truncates rather than panicking.
     pub fn num_sets(&self) -> usize {
+        let lines = self.capacity_bytes / self.line_bytes.max(1);
+        (lines / (self.ways as u64).max(1)) as usize
+    }
+
+    /// Number of sets, or a typed error when the geometry is inconsistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ConfigValidation`] when the line size is zero or
+    /// not a power of two, lines do not divide evenly into ways, or the set
+    /// count is not a power of two. `level` names the cache in the error
+    /// (e.g. `"l1"`).
+    pub fn checked_num_sets(&self, level: &'static str) -> SimResult<usize> {
+        if self.ways == 0 {
+            return Err(SimError::config(level, "ways must be > 0"));
+        }
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(SimError::config(
+                level,
+                format!("line_bytes must be a power of two, got {}", self.line_bytes),
+            ));
+        }
+        if !self.capacity_bytes.is_multiple_of(self.line_bytes) {
+            return Err(SimError::config(
+                level,
+                format!(
+                    "capacity {} B is not a whole number of {} B lines",
+                    self.capacity_bytes, self.line_bytes
+                ),
+            ));
+        }
         let lines = self.capacity_bytes / self.line_bytes;
-        assert_eq!(
-            lines % self.ways as u64,
-            0,
-            "cache lines must divide evenly into ways"
-        );
+        if !lines.is_multiple_of(self.ways as u64) {
+            return Err(SimError::config(
+                level,
+                format!("{} lines do not divide evenly into {} ways", lines, self.ways),
+            ));
+        }
         let sets = (lines / self.ways as u64) as usize;
-        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
-        sets
+        if !sets.is_power_of_two() {
+            return Err(SimError::config(
+                level,
+                format!("set count must be a power of two, got {sets}"),
+            ));
+        }
+        Ok(sets)
+    }
+
+    /// Validates this cache level in isolation (geometry + structure sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ConfigValidation`] naming `level` on the first
+    /// inconsistency.
+    pub fn validate(&self, level: &'static str) -> SimResult<()> {
+        self.checked_num_sets(level)?;
+        if self.mshrs == 0 {
+            return Err(SimError::config(level, "mshrs must be > 0"));
+        }
+        if self.mshr_merge_slots == 0 {
+            return Err(SimError::config(level, "mshr_merge_slots must be > 0"));
+        }
+        Ok(())
     }
 
     /// Total number of cache lines.
     pub fn num_lines(&self) -> usize {
-        (self.capacity_bytes / self.line_bytes) as usize
+        (self.capacity_bytes / self.line_bytes.max(1)) as usize
     }
 }
 
@@ -282,37 +342,77 @@ impl GpuConfig {
 
     /// Validates internal consistency of the configuration.
     ///
+    /// Run once when a simulation is constructed; everything downstream may
+    /// then assume a consistent geometry.
+    ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first inconsistency found
-    /// (zero-sized structures, non-power-of-two geometry, ...).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`SimError::ConfigValidation`] naming the first offending
+    /// field (zero-sized structures, non-power-of-two geometry, mismatched
+    /// line sizes, ...).
+    pub fn validate(&self) -> SimResult<()> {
         if self.core.num_sms == 0 {
-            return Err("num_sms must be > 0".into());
+            return Err(SimError::config("core.num_sms", "must be > 0"));
         }
         if self.core.warps_per_sm == 0 || self.core.warps_per_sm > 64 {
-            return Err("warps_per_sm must be in 1..=64".into());
+            return Err(SimError::config(
+                "core.warps_per_sm",
+                format!("must be in 1..=64, got {}", self.core.warps_per_sm),
+            ));
         }
-        if !self.l1.line_bytes.is_power_of_two() || !self.l2.line_bytes.is_power_of_two() {
-            return Err("cache line sizes must be powers of two".into());
+        if self.core.warp_size == 0 {
+            return Err(SimError::config("core.warp_size", "must be > 0"));
         }
+        if self.core.issue_width == 0 {
+            return Err(SimError::config("core.issue_width", "must be > 0"));
+        }
+        self.l1.validate("l1")?;
         if self.l1.line_bytes != self.l2.line_bytes {
-            return Err("L1 and L2 line sizes must match".into());
-        }
-        let lines = self.l1.capacity_bytes / self.l1.line_bytes;
-        if !lines.is_multiple_of(self.l1.ways as u64)
-            || !((lines / self.l1.ways as u64) as usize).is_power_of_two()
-        {
-            return Err("L1 geometry must yield a power-of-two set count".into());
+            return Err(SimError::config(
+                "l2.line_bytes",
+                format!(
+                    "must match l1.line_bytes ({} != {})",
+                    self.l2.line_bytes, self.l1.line_bytes
+                ),
+            ));
         }
         if self.dram.partitions == 0 {
-            return Err("dram.partitions must be > 0".into());
+            return Err(SimError::config("dram.partitions", "must be > 0"));
         }
         if !self.l2.capacity_bytes.is_multiple_of(self.dram.partitions as u64) {
-            return Err("L2 capacity must divide evenly across partitions".into());
+            return Err(SimError::config(
+                "l2.capacity_bytes",
+                format!(
+                    "{} B must divide evenly across {} partitions",
+                    self.l2.capacity_bytes, self.dram.partitions
+                ),
+            ));
+        }
+        // The L2 is banked: each DRAM partition owns a slice of
+        // `capacity / partitions` bytes, and it is the slice geometry that
+        // must be well formed (768 KB / 6 partitions / 8 ways = 128 sets).
+        let l2_bank = CacheConfig {
+            capacity_bytes: self.l2.capacity_bytes / self.dram.partitions as u64,
+            ..self.l2.clone()
+        };
+        l2_bank.validate("l2")?;
+        if self.dram.service_interval == 0 {
+            return Err(SimError::config("dram.service_interval", "must be > 0"));
+        }
+        if self.dram.queue_depth == 0 {
+            return Err(SimError::config("dram.queue_depth", "must be > 0"));
+        }
+        if self.dram.interleave_bytes == 0 || !self.dram.interleave_bytes.is_power_of_two() {
+            return Err(SimError::config(
+                "dram.interleave_bytes",
+                format!("must be a power of two, got {}", self.dram.interleave_bytes),
+            ));
+        }
+        if self.noc.requests_per_cycle == 0 {
+            return Err(SimError::config("noc.requests_per_cycle", "must be > 0"));
         }
         if self.apres.wgt_entries == 0 || self.apres.pt_entries == 0 {
-            return Err("APRES table sizes must be > 0".into());
+            return Err(SimError::config("apres", "table sizes must be > 0"));
         }
         Ok(())
     }
@@ -380,6 +480,74 @@ mod tests {
         let mut cfg = GpuConfig::paper_baseline();
         cfg.l2.line_bytes = 256;
         assert!(cfg.validate().is_err());
+    }
+
+    fn rejected_field(cfg: &GpuConfig) -> &'static str {
+        match cfg.validate() {
+            Err(SimError::ConfigValidation { field, .. }) => field,
+            other => panic!("expected ConfigValidation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_set_count() {
+        let mut cfg = GpuConfig::paper_baseline();
+        cfg.l1.capacity_bytes = cfg.l1.line_bytes * cfg.l1.ways as u64 * 3; // 3 sets
+        assert_eq!(rejected_field(&cfg), "l1");
+        let err = cfg.l1.checked_num_sets("l1").unwrap_err();
+        assert!(err.to_string().contains("power of two"), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_ways() {
+        let mut cfg = GpuConfig::paper_baseline();
+        cfg.l2.ways = 0;
+        assert_eq!(rejected_field(&cfg), "l2");
+        assert!(cfg.l2.checked_num_sets("l2").is_err());
+    }
+
+    #[test]
+    fn rejects_line_size_not_dividing_capacity() {
+        let mut cfg = GpuConfig::paper_baseline();
+        cfg.l1.capacity_bytes = cfg.l1.line_bytes * 256 + 32;
+        assert_eq!(rejected_field(&cfg), "l1");
+        let err = cfg.l1.checked_num_sets("l1").unwrap_err();
+        assert!(err.to_string().contains("whole number"), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_mshrs_and_merge_slots() {
+        let mut cfg = GpuConfig::paper_baseline();
+        cfg.l1.mshrs = 0;
+        assert_eq!(rejected_field(&cfg), "l1");
+
+        let mut cfg = GpuConfig::paper_baseline();
+        cfg.l1.mshr_merge_slots = 0;
+        assert_eq!(rejected_field(&cfg), "l1");
+    }
+
+    #[test]
+    fn rejects_zero_dram_service_interval() {
+        let mut cfg = GpuConfig::paper_baseline();
+        cfg.dram.service_interval = 0;
+        assert_eq!(rejected_field(&cfg), "dram.service_interval");
+    }
+
+    #[test]
+    fn unchecked_num_sets_never_panics() {
+        let degenerate = CacheConfig {
+            capacity_bytes: 0,
+            ways: 0,
+            line_bytes: 0,
+            mshrs: 0,
+            mshr_merge_slots: 0,
+            hit_latency: 0,
+            replacement: Replacement::Lru,
+            bypass: false,
+        };
+        assert_eq!(degenerate.num_sets(), 0);
+        assert_eq!(degenerate.num_lines(), 0);
+        assert!(degenerate.checked_num_sets("l1").is_err());
     }
 
     #[test]

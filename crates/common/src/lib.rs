@@ -17,10 +17,16 @@
 //! assert_eq!(addr.line(cfg.l1.line_bytes).byte_offset(addr, cfg.l1.line_bytes), 0x34);
 //! ```
 
+pub mod check;
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod stats;
 
 pub use config::GpuConfig;
+pub use error::{DeadlockDiagnosis, SimError, SimResult, StallReason, StalledWarp};
+pub use fault::{FaultCounters, FaultPlan, FaultState};
 pub use ids::{Addr, Cycle, LineAddr, Pc, SmId, WarpId};

@@ -103,6 +103,8 @@ mod tests {
             kernel: "k".into(),
             cycles,
             timed_out: false,
+            termination: gpu_sm::Termination::Drained,
+            faults: gpu_common::FaultCounters::default(),
             sim: SimStats {
                 cycles,
                 ..Default::default()

@@ -202,7 +202,9 @@ impl WarpScheduler for Laws {
         else {
             return SchedFeedback::default();
         };
-        let entry = self.wgt.remove(pos).expect("position valid");
+        let Some(entry) = self.wgt.remove(pos) else {
+            return SchedFeedback::default();
+        };
         if ev.outcome.counts_as_hit() {
             // High-locality load: the grouped warps will hit too — run them
             // while the line is resident.

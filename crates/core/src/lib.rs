@@ -35,7 +35,8 @@
 //!     .config(GpuConfig::small_test())
 //!     .scheduler(SchedulerChoice::Laws)
 //!     .prefetcher(PrefetcherChoice::Sap)
-//!     .run();
+//!     .run()
+//!     .expect("valid config, no deadlock");
 //! assert!(!result.timed_out);
 //! ```
 

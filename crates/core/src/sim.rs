@@ -16,14 +16,17 @@
 use crate::laws::Laws;
 use crate::sap::Sap;
 use gpu_common::config::GpuConfig;
-use gpu_common::{Cycle, SmId};
+use gpu_common::fault::FaultPlan;
+use gpu_common::{Cycle, SimResult, SmId};
 use gpu_kernel::Kernel;
 use gpu_prefetch::PrefetchEngine;
 use gpu_sched::SchedPolicy;
 use gpu_sm::traits::{NullPrefetcher, Prefetcher, WarpScheduler};
-use gpu_sm::{Gpu, RunResult};
+use gpu_sm::{Gpu, RunResult, DEFAULT_WATCHDOG_WINDOW};
 
-/// Default cycle budget; generous for every bundled workload.
+/// Default cycle budget; generous for every bundled workload. Runs that hit
+/// it end with [`gpu_sm::Termination::BudgetExhausted`] rather than being
+/// silently truncated.
 pub const DEFAULT_MAX_CYCLES: Cycle = 30_000_000;
 
 /// Scheduler selection (baselines + LAWS).
@@ -124,7 +127,8 @@ impl PrefetcherChoice {
 ///     .build();
 /// let baseline = Simulation::new(k)
 ///     .config(GpuConfig::small_test())
-///     .run();
+///     .run()
+///     .expect("valid config, no deadlock");
 /// assert_eq!(baseline.scheduler, "lrr");
 /// ```
 #[derive(Debug, Clone)]
@@ -134,6 +138,8 @@ pub struct Simulation {
     scheduler: SchedulerChoice,
     prefetcher: PrefetcherChoice,
     max_cycles: Cycle,
+    watchdog: Option<Cycle>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Simulation {
@@ -146,6 +152,8 @@ impl Simulation {
             scheduler: SchedulerChoice::Lrr,
             prefetcher: PrefetcherChoice::None,
             max_cycles: DEFAULT_MAX_CYCLES,
+            watchdog: Some(DEFAULT_WATCHDOG_WINDOW),
+            fault_plan: None,
         }
     }
 
@@ -180,15 +188,46 @@ impl Simulation {
         self
     }
 
+    /// Overrides the forward-progress watchdog window.
+    pub fn watchdog(mut self, window: Cycle) -> Self {
+        self.watchdog = Some(window);
+        self
+    }
+
+    /// Disables the forward-progress watchdog.
+    pub fn no_watchdog(mut self) -> Self {
+        self.watchdog = None;
+        self
+    }
+
+    /// Arms deterministic fault injection for this run (testing the
+    /// simulator's own resilience; see [`gpu_common::fault`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Runs the simulation to completion (or the cycle budget).
-    pub fn run(&self) -> RunResult {
+    ///
+    /// # Errors
+    ///
+    /// [`gpu_common::SimError::ConfigValidation`] for a bad configuration,
+    /// `WatchdogTimeout` when forward progress stops for a whole watchdog
+    /// window, and `InvariantViolation` when the drain-time conservation
+    /// audit fails.
+    pub fn run(&self) -> SimResult<RunResult> {
         let cfg = self.cfg.clone();
         let sched = self.scheduler;
         let pf = self.prefetcher;
         let make_sched = move |_: SmId| sched.make(&cfg);
         let cfg2 = self.cfg.clone();
         let make_pf = move |_: SmId| pf.make(&cfg2);
-        Gpu::new(&self.cfg, self.kernel.clone(), &make_sched, &make_pf).run(self.max_cycles)
+        let mut gpu = Gpu::new(&self.cfg, self.kernel.clone(), &make_sched, &make_pf)?;
+        gpu.set_watchdog(self.watchdog);
+        if let Some(plan) = &self.fault_plan {
+            gpu.arm_faults(plan);
+        }
+        gpu.run(self.max_cycles)
     }
 }
 
@@ -226,6 +265,7 @@ mod tests {
             .prefetcher(p)
             .max_cycles(3_000_000)
             .run()
+            .unwrap()
     }
 
     #[test]
@@ -251,7 +291,8 @@ mod tests {
             .config(gpu_common::GpuConfig::small_test())
             .apres()
             .max_cycles(3_000_000)
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(r.scheduler, "laws");
         assert_eq!(r.prefetcher, "sap");
         assert!(!r.timed_out);
@@ -298,6 +339,49 @@ mod tests {
         let r = run(strided_kernel(), SchedulerChoice::Ccws, PrefetcherChoice::Str);
         assert!(!r.timed_out);
         assert!(r.prefetch.issued > 0);
+    }
+
+    #[test]
+    fn invalid_config_rejected_up_front() {
+        let mut cfg = gpu_common::GpuConfig::small_test();
+        cfg.l1.line_bytes = 100; // not a power of two
+        let err = Simulation::new(locality_kernel())
+            .config(cfg)
+            .run()
+            .err()
+            .unwrap();
+        assert_eq!(err.class(), "config-validation");
+    }
+
+    #[test]
+    fn fault_plan_reaches_sap() {
+        use gpu_common::FaultPlan;
+        let r = Simulation::new(strided_kernel())
+            .config(gpu_common::GpuConfig::small_test())
+            .apres()
+            .max_cycles(3_000_000)
+            .fault_plan(FaultPlan::seeded(9).corrupting_sap(1.0))
+            .run()
+            .unwrap();
+        assert!(!r.timed_out);
+        assert!(
+            r.faults.corrupted_predictions > 0,
+            "SAP corruption never fired: {:?}",
+            r.faults
+        );
+    }
+
+    #[test]
+    fn dropped_responses_become_watchdog_timeout() {
+        use gpu_common::{FaultPlan, SimError};
+        let err = Simulation::new(strided_kernel())
+            .config(gpu_common::GpuConfig::small_test())
+            .max_cycles(3_000_000)
+            .watchdog(2_000)
+            .fault_plan(FaultPlan::seeded(4).dropping_dram_responses(1.0))
+            .run()
+            .expect_err("must deadlock");
+        assert!(matches!(err, SimError::WatchdogTimeout { .. }), "{err:?}");
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl SimtStack {
 
     /// Currently active lanes.
     pub fn active_mask(&self) -> LaneMask {
-        self.stack.last().expect("stack never empty").mask
+        self.stack.last().map_or(0, |e| e.mask)
     }
 
     /// Number of currently active lanes.
@@ -86,7 +86,7 @@ impl SimtStack {
 
     /// PC the active lanes execute next.
     pub fn pc(&self) -> Pc {
-        self.stack.last().expect("stack never empty").npc
+        self.stack.last().map_or(Pc(0), |e| e.npc)
     }
 
     /// Depth of the stack (1 = converged).
@@ -96,7 +96,9 @@ impl SimtStack {
 
     /// Advances the active entry's PC (straight-line execution).
     pub fn advance(&mut self, npc: Pc) {
-        self.stack.last_mut().expect("stack never empty").npc = npc;
+        if let Some(top) = self.stack.last_mut() {
+            top.npc = npc;
+        }
     }
 
     /// Executes a divergent branch: of the active lanes, `taken_mask` jump to
@@ -130,8 +132,7 @@ impl SimtStack {
             return;
         }
         // Convert the current entry into the reconvergence placeholder.
-        {
-            let top = self.stack.last_mut().expect("stack never empty");
+        if let Some(top) = self.stack.last_mut() {
             top.npc = rpc;
         }
         // Taken path is pushed first so the fall-through executes first
@@ -156,7 +157,7 @@ impl SimtStack {
     /// Exactly one entry pops per arrival: the sibling path revealed
     /// underneath still has to execute before the join completes.
     pub fn reconverge_at(&mut self, pc: Pc) -> bool {
-        if self.stack.len() > 1 && self.stack.last().expect("nonempty").rpc == Some(pc) {
+        if self.stack.len() > 1 && self.stack.last().is_some_and(|e| e.rpc == Some(pc)) {
             self.stack.pop();
             true
         } else {

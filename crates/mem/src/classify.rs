@@ -130,11 +130,14 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use gpu_common::check::run_cases;
 
-        proptest! {
-            #[test]
-            fn conservation(accesses in proptest::collection::vec((0u64..16, any::<bool>()), 0..200)) {
+        #[test]
+        fn conservation() {
+            run_cases(64, |_, g| {
+                let n = g.usize_range(0, 199);
+                let accesses: Vec<(u64, bool)> =
+                    (0..n).map(|_| (g.range(0, 15), g.chance(0.5))).collect();
                 let mut c = MissClassifier::new();
                 let (mut hh, mut hm, mut cold, mut cc) = (0u64, 0u64, 0u64, 0u64);
                 for &(line, hit) in &accesses {
@@ -149,21 +152,37 @@ mod tests {
                     }
                 }
                 let hits = accesses.iter().filter(|&&(_, h)| h).count() as u64;
-                prop_assert_eq!(hh + hm, hits);
-                prop_assert_eq!(cold + cc, accesses.len() as u64 - hits);
-            }
+                if hh + hm != hits {
+                    return Err(format!("hit classes {} != hits {hits}", hh + hm));
+                }
+                if cold + cc != accesses.len() as u64 - hits {
+                    return Err(format!(
+                        "miss classes {} != misses {}",
+                        cold + cc,
+                        accesses.len() as u64 - hits
+                    ));
+                }
+                Ok(())
+            });
+        }
 
-            #[test]
-            fn cold_at_most_once_per_line(lines in proptest::collection::vec(0u64..8, 0..100)) {
+        #[test]
+        fn cold_at_most_once_per_line() {
+            run_cases(64, |_, g| {
                 let mut c = MissClassifier::new();
                 let mut cold_seen = std::collections::HashSet::new();
-                for &l in &lines {
-                    if c.classify(LineAddr(l), false) == AccessClass::ColdMiss {
-                        prop_assert!(cold_seen.insert(l), "line {} cold twice", l);
+                let n = g.usize_range(0, 99);
+                for _ in 0..n {
+                    let l = g.range(0, 7);
+                    if c.classify(LineAddr(l), false) == AccessClass::ColdMiss
+                        && !cold_seen.insert(l)
+                    {
+                        return Err(format!("line {l} cold twice"));
                     }
                     c.note_filled(LineAddr(l));
                 }
-            }
+                Ok(())
+            });
         }
     }
 }

@@ -44,7 +44,7 @@ pub const MAX_REQUESTS_PER_WARP: usize = 32;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use gpu_common::check::run_cases;
 
     #[test]
     fn fully_coalesced_single_line() {
@@ -87,25 +87,30 @@ mod tests {
         assert_eq!(coalesce(&addrs, 128)[0], Addr::new(0x2000).line(128));
     }
 
-    proptest! {
-        #[test]
-        fn output_lines_unique_and_cover_all_lanes(
-            raw in proptest::collection::vec(0u64..1 << 20, 1..32)
-        ) {
-            let addrs: Vec<Addr> = raw.iter().map(|&a| Addr::new(a)).collect();
+    #[test]
+    fn output_lines_unique_and_cover_all_lanes() {
+        run_cases(128, |_, g| {
+            let n = g.usize_range(1, 31);
+            let addrs: Vec<Addr> = (0..n).map(|_| Addr::new(g.range(0, (1 << 20) - 1))).collect();
             let lines = coalesce(&addrs, 128);
             // Unique.
             let mut sorted = lines.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            prop_assert_eq!(sorted.len(), lines.len());
+            if sorted.len() != lines.len() {
+                return Err("duplicate output lines".into());
+            }
             // ≤ one per lane and ≥ 1.
-            prop_assert!(lines.len() <= addrs.len());
-            prop_assert!(!lines.is_empty());
+            if lines.len() > addrs.len() || lines.is_empty() {
+                return Err(format!("{} lines from {} lanes", lines.len(), addrs.len()));
+            }
             // Every lane's line is represented.
             for a in &addrs {
-                prop_assert!(lines.contains(&a.line(128)));
+                if !lines.contains(&a.line(128)) {
+                    return Err(format!("lane {a} not covered"));
+                }
             }
-        }
+            Ok(())
+        });
     }
 }

@@ -109,7 +109,7 @@ impl DramPartition {
         }
         let (occupancy, latency, req) = match self.policy {
             DramRowPolicy::Uniform => {
-                let req = self.queue.pop_front().expect("nonempty");
+                let req = self.queue.pop_front()?;
                 (self.service_interval, self.latency, req)
             }
             DramRowPolicy::FrFcfsRowBuffer => {
@@ -123,7 +123,7 @@ impl DramPartition {
                         self.open_rows[(row as usize) % BANKS_PER_PARTITION] == Some(row)
                     })
                     .unwrap_or(0);
-                let req = self.queue.remove(pick).expect("index valid");
+                let req = self.queue.remove(pick)?;
                 let row = req.line.base(128).0 / ROW_BYTES;
                 let bank = (row as usize) % BANKS_PER_PARTITION;
                 let row_hit = self.open_rows[bank] == Some(row);

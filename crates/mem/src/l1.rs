@@ -14,10 +14,11 @@
 use crate::bypass::BypassPredictor;
 use crate::cache::TagStore;
 use crate::classify::{AccessClass, MissClassifier};
-use crate::mshr::{MshrFile, MshrOutcome};
+use crate::mshr::{MshrEntry, MshrFile, MshrOutcome};
 use crate::prefetch_meta::EarlyEvictionTracker;
 use crate::request::{AccessKind, MemRequest};
 use gpu_common::config::CacheConfig;
+use gpu_common::fault::{FaultCounters, FaultState};
 use gpu_common::stats::{CacheStats, PrefetchStats};
 use gpu_common::{Cycle, LineAddr, Pc};
 use std::collections::{HashMap, VecDeque};
@@ -97,6 +98,8 @@ pub struct L1Cache {
     /// Lines whose in-flight fill must not be installed (bypassed loads).
     no_fill: std::collections::HashSet<LineAddr>,
     outgoing: VecDeque<MemRequest>,
+    /// Injected-fault state (MSHR exhaustion bursts), when under test.
+    fault: Option<FaultState>,
 }
 
 impl L1Cache {
@@ -113,8 +116,27 @@ impl L1Cache {
             bypass: cfg.bypass.then(BypassPredictor::new),
             no_fill: std::collections::HashSet::new(),
             outgoing: VecDeque::new(),
+            fault: None,
             cfg: cfg.clone(),
         }
+    }
+
+    /// Arms fault injection on this cache (MSHR-exhaustion bursts).
+    pub fn set_fault_state(&mut self, fault: FaultState) {
+        self.fault = Some(fault);
+    }
+
+    /// Faults injected so far (zero when injection is not armed).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault
+            .as_ref()
+            .map(FaultState::counters)
+            .unwrap_or_default()
+    }
+
+    /// In-flight MSHR entries (deadlock diagnostics).
+    pub fn inflight_mshrs(&self) -> impl Iterator<Item = &MshrEntry> {
+        self.mshrs.iter()
     }
 
     /// Demand loads served around the cache by the bypass predictor.
@@ -130,14 +152,23 @@ impl L1Cache {
                 self.outgoing.push_back(req);
                 L1AccessOutcome::StoreForwarded
             }
-            AccessKind::Prefetch => self.access_prefetch(req),
+            AccessKind::Prefetch => self.access_prefetch(req, now),
             AccessKind::Load => self.access_load(req, now),
         }
     }
 
-    fn access_prefetch(&mut self, req: MemRequest) -> L1AccessOutcome {
+    /// `true` while an injected MSHR-exhaustion burst refuses allocations.
+    fn mshr_fault_active(&mut self, now: Cycle) -> bool {
+        self.fault.as_mut().is_some_and(|f| f.mshr_blocked(now))
+    }
+
+    fn access_prefetch(&mut self, req: MemRequest, now: Cycle) -> L1AccessOutcome {
         if self.tags.probe(req.line) || self.mshrs.contains(req.line) {
             self.pstats.dropped_duplicate += 1;
+            return L1AccessOutcome::PrefetchDropped;
+        }
+        if self.mshr_fault_active(now) {
+            self.pstats.dropped_no_resource += 1;
             return L1AccessOutcome::PrefetchDropped;
         }
         match self.mshrs.register(req.clone()) {
@@ -146,7 +177,12 @@ impl L1Cache {
                 self.outgoing.push_back(req);
                 L1AccessOutcome::PrefetchIssued
             }
-            MshrOutcome::Merged { .. } => unreachable!("contains() checked above"),
+            // Unreachable while `contains()` above holds; degrade to a
+            // dropped duplicate rather than trusting that forever.
+            MshrOutcome::Merged { .. } => {
+                self.pstats.dropped_duplicate += 1;
+                L1AccessOutcome::PrefetchDropped
+            }
             MshrOutcome::Rejected => {
                 self.pstats.dropped_no_resource += 1;
                 L1AccessOutcome::PrefetchDropped
@@ -171,10 +207,11 @@ impl L1Cache {
             if first_prefetch_use {
                 self.pstats.useful += 1;
             }
+            // The classifier cannot return a miss class for hit=true; the
+            // catch-all keeps the hit-class sum conserved regardless.
             match self.classifier.classify(line, true) {
                 AccessClass::HitAfterHit => self.stats.hit_after_hit += 1,
-                AccessClass::HitAfterMiss => self.stats.hit_after_miss += 1,
-                _ => unreachable!("hit classified as miss"),
+                _ => self.stats.hit_after_miss += 1,
             }
             return L1AccessOutcome::Hit {
                 ready_at: now + self.cfg.hit_latency,
@@ -186,6 +223,13 @@ impl L1Cache {
             .bypass
             .as_mut()
             .is_some_and(|b| b.should_bypass(pc));
+        if self.mshr_fault_active(now) {
+            self.stats.reservation_fails += 1;
+            return L1AccessOutcome::Rejected;
+        }
+        // Keep a copy for the downstream queue: on Allocated the request
+        // itself moves into the MSHR entry.
+        let fwd = req.clone();
         // Try the MSHRs before committing statistics, because a rejected
         // access retries and must not be double counted.
         match self.mshrs.register(req) {
@@ -202,8 +246,7 @@ impl L1Cache {
                 }
                 match self.classifier.classify(line, true) {
                     AccessClass::HitAfterHit => self.stats.hit_after_hit += 1,
-                    AccessClass::HitAfterMiss => self.stats.hit_after_miss += 1,
-                    _ => unreachable!("hit classified as miss"),
+                    _ => self.stats.hit_after_miss += 1,
                 }
                 L1AccessOutcome::Merged { into_prefetch }
             }
@@ -218,22 +261,13 @@ impl L1Cache {
                 self.stats.accesses += 1;
                 self.per_pc.entry(pc).or_default().accesses += 1;
                 match self.classifier.classify(line, false) {
-                    AccessClass::ColdMiss => self.stats.cold_misses += 1,
                     AccessClass::CapacityConflictMiss => {
                         self.stats.capacity_conflict_misses += 1
                     }
-                    _ => unreachable!("miss classified as hit"),
+                    _ => self.stats.cold_misses += 1,
                 }
                 // Was this a correct prefetch we evicted too early?
                 self.early.note_demand(line);
-                // The allocating request was moved into the MSHR entry; clone
-                // it back out for the downstream queue.
-                let fwd = self
-                    .mshrs
-                    .entry(line)
-                    .expect("just allocated")
-                    .primary
-                    .clone();
                 self.outgoing.push_back(fwd);
                 L1AccessOutcome::Miss
             }
@@ -533,5 +567,21 @@ mod tests {
         l1.fill(LineAddr(1), 10);
         let f = l1.fill(LineAddr(1), 11);
         assert!(f.waiting_loads.is_empty());
+    }
+
+    #[test]
+    fn injected_mshr_burst_rejects_then_recovers() {
+        use gpu_common::FaultPlan;
+        let mut l1 = L1Cache::new(&cfg());
+        l1.set_fault_state(FaultPlan::seeded(1).exhausting_mshrs(100, 10).state(0));
+        // Inside the burst window: demand loads are rejected (LSU retries),
+        // prefetches dropped — never a panic.
+        assert_eq!(l1.access(load(1, 0, 5), 5), L1AccessOutcome::Rejected);
+        assert_eq!(l1.access(prefetch(2, 0), 5), L1AccessOutcome::PrefetchDropped);
+        assert_eq!(l1.stats().reservation_fails, 1);
+        assert_eq!(l1.fault_counters().mshr_refusals, 2);
+        // Past the window the same accesses succeed.
+        assert_eq!(l1.access(load(1, 0, 50), 50), L1AccessOutcome::Miss);
+        assert_eq!(l1.access(prefetch(2, 0), 50), L1AccessOutcome::PrefetchIssued);
     }
 }

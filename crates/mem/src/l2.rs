@@ -136,11 +136,13 @@ impl L2Bank {
         }
         // Deliver everything that matured this cycle.
         let mut out = Vec::new();
-        while let Some((&(at, seq), _)) = self.pending.first_key_value() {
+        while let Some((&(at, _), _)) = self.pending.first_key_value() {
             if at > now {
                 break;
             }
-            let kind = self.pending.remove(&(at, seq)).expect("peeked");
+            let Some((_, kind)) = self.pending.pop_first() else {
+                break;
+            };
             match kind {
                 PendingKind::Hit(req) => out.push(L2Response { req }),
                 PendingKind::DramFill(line) => {

@@ -4,13 +4,22 @@
 //! [`MemorySystem::tick`]; SMs push L1 misses in with
 //! [`MemorySystem::submit`] and collect matured line fills with
 //! [`MemorySystem::drain_fills`].
+//!
+//! The system keeps a request-conservation ledger: every non-store request
+//! accepted by [`MemorySystem::submit`] must eventually come back as exactly
+//! one response (stores are posted and never respond). [`MemorySystem::audit`]
+//! checks the ledger — accounting for any injected faults — and a mismatch at
+//! drain is an [`SimError::InvariantViolation`], i.e. a leak in the NoC, the
+//! L2 MSHRs, or DRAM queues.
 
 use crate::l2::L2Bank;
 use crate::noc::DelayPipe;
 use crate::request::{AccessKind, MemRequest};
 use gpu_common::config::GpuConfig;
+use gpu_common::fault::{FaultCounters, FaultState};
 use gpu_common::stats::MemStats;
-use gpu_common::{Cycle, LineAddr};
+use gpu_common::{Cycle, LineAddr, SimError, SimResult};
+use std::collections::BTreeMap;
 
 /// Interconnect + shared L2 + DRAM, shared by every SM.
 #[derive(Debug)]
@@ -22,17 +31,27 @@ pub struct MemorySystem {
     from_l2: Vec<DelayPipe<MemRequest>>,
     banks: Vec<L2Bank>,
     stats: MemStats,
+    /// Non-store requests accepted off-core (conservation ledger, debit).
+    submitted: u64,
+    /// Responses delivered back toward SMs (conservation ledger, credit).
+    delivered: u64,
+    /// Injected-fault state (response drops/delays, NoC request drops).
+    fault: Option<FaultState>,
+    /// Responses held back by an injected delay, keyed by release cycle.
+    delayed: BTreeMap<(Cycle, u64), MemRequest>,
+    delayed_seq: u64,
 }
 
 impl MemorySystem {
     /// Builds the memory system for `cfg`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails [`GpuConfig::validate`].
-    pub fn new(cfg: &GpuConfig) -> Self {
-        cfg.validate().expect("invalid GpuConfig");
-        MemorySystem {
+    /// Returns [`SimError::ConfigValidation`] if `cfg` fails
+    /// [`GpuConfig::validate`].
+    pub fn new(cfg: &GpuConfig) -> SimResult<Self> {
+        cfg.validate()?;
+        Ok(MemorySystem {
             to_l2: (0..cfg.core.num_sms)
                 .map(|_| DelayPipe::new(cfg.noc.latency))
                 .collect(),
@@ -43,8 +62,26 @@ impl MemorySystem {
                 .map(|_| L2Bank::new(&cfg.l2, &cfg.dram))
                 .collect(),
             stats: MemStats::default(),
+            submitted: 0,
+            delivered: 0,
+            fault: None,
+            delayed: BTreeMap::new(),
+            delayed_seq: 0,
             cfg: cfg.clone(),
-        }
+        })
+    }
+
+    /// Arms fault injection (response drops/delays, NoC request drops).
+    pub fn set_fault_state(&mut self, fault: FaultState) {
+        self.fault = Some(fault);
+    }
+
+    /// Faults injected so far (zero when injection is not armed).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault
+            .as_ref()
+            .map(FaultState::counters)
+            .unwrap_or_default()
     }
 
     /// Which bank/partition a line maps to (interleaved by
@@ -55,16 +92,65 @@ impl MemorySystem {
     }
 
     /// Submits an L1 miss / store / prefetch from `sm` at cycle `now`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sm` is out of range.
+    /// Out-of-range SMs are rejected silently (cannot happen through the
+    /// simulation facade, which sizes the pipes from the same config).
     pub fn submit(&mut self, sm: usize, req: MemRequest, now: Cycle) {
-        self.to_l2[sm].push(req, now);
+        let Some(pipe) = self.to_l2.get_mut(sm) else {
+            debug_assert!(false, "submit from out-of-range sm {sm}");
+            return;
+        };
+        if req.kind != AccessKind::Store {
+            self.submitted += 1;
+        }
+        // An injected NoC fault may eat the request after it was ledgered:
+        // the audit then attributes the imbalance to the fault counters.
+        if let Some(f) = &mut self.fault {
+            if req.kind != AccessKind::Store && f.drop_request() {
+                return;
+            }
+        }
+        pipe.push(req, now);
+    }
+
+    /// Delivers one response toward its SM, applying injected response
+    /// faults (drop or delay).
+    fn deliver(&mut self, req: MemRequest, now: Cycle) {
+        if let Some(f) = &mut self.fault {
+            if f.drop_response() {
+                return;
+            }
+            let delay = f.response_delay();
+            if delay > 0 {
+                self.delayed_seq += 1;
+                self.delayed.insert((now + delay, self.delayed_seq), req);
+                return;
+            }
+        }
+        self.stats.bytes_to_sm += self.cfg.l1.line_bytes;
+        let sm = req.sm.index();
+        self.delivered += 1;
+        if let Some(pipe) = self.from_l2.get_mut(sm) {
+            pipe.push(req, now);
+        }
     }
 
     /// Advances the interconnect, banks, and DRAM by one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        // Release responses whose injected delay has elapsed. They re-enter
+        // the response pipe at `now`, so ready-cycle monotonicity holds.
+        while let Some((&(release, _), _)) = self.delayed.first_key_value() {
+            if release > now {
+                break;
+            }
+            let Some((_, req)) = self.delayed.pop_first() else {
+                break;
+            };
+            self.stats.bytes_to_sm += self.cfg.l1.line_bytes;
+            self.delivered += 1;
+            if let Some(pipe) = self.from_l2.get_mut(req.sm.index()) {
+                pipe.push(req, now);
+            }
+        }
         // SM → L2: each SM may inject `requests_per_cycle` per cycle.
         for sm in 0..self.to_l2.len() {
             let ready = self.to_l2[sm].pop_ready(now, self.cfg.noc.requests_per_cycle);
@@ -74,14 +160,13 @@ impl MemorySystem {
             }
         }
         // Banks and DRAM.
-        for bank in &mut self.banks {
-            for resp in bank.tick(now, self.cfg.l2.hit_latency) {
+        for bank_idx in 0..self.banks.len() {
+            let responses = self.banks[bank_idx].tick(now, self.cfg.l2.hit_latency);
+            for resp in responses {
                 if resp.req.kind == AccessKind::Store {
                     continue;
                 }
-                self.stats.bytes_to_sm += self.cfg.l1.line_bytes;
-                let sm = resp.req.sm.index();
-                self.from_l2[sm].push(resp.req, now);
+                self.deliver(resp.req, now);
             }
         }
         self.stats.bytes_from_dram = self
@@ -94,7 +179,10 @@ impl MemorySystem {
 
     /// Collects line fills that have arrived back at `sm` by `now`.
     pub fn drain_fills(&mut self, sm: usize, now: Cycle) -> Vec<MemRequest> {
-        self.from_l2[sm].pop_ready(now, usize::MAX)
+        self.from_l2
+            .get_mut(sm)
+            .map(|pipe| pipe.pop_ready(now, usize::MAX))
+            .unwrap_or_default()
     }
 
     /// Records a completed demand load's round-trip latency (called by the
@@ -107,6 +195,53 @@ impl MemorySystem {
     /// Aggregate traffic/latency statistics.
     pub fn stats(&self) -> &MemStats {
         &self.stats
+    }
+
+    /// Non-store requests accepted off-core over the whole run.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Responses delivered back toward SMs over the whole run.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Requests currently inside the off-core system according to the
+    /// conservation ledger (submitted − delivered − injected drops).
+    pub fn in_flight(&self) -> u64 {
+        let f = self.fault_counters();
+        self.submitted
+            .saturating_sub(self.delivered)
+            .saturating_sub(f.dropped_requests + f.dropped_responses)
+    }
+
+    /// Checks request conservation: at drain ([`MemorySystem::is_idle`]),
+    /// every accepted non-store request must have produced exactly one
+    /// response, minus any injected request/response drops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvariantViolation`] (`"request-conservation"`)
+    /// when the ledger does not balance — a leaked or duplicated request in
+    /// the NoC, L2 MSHRs, or DRAM queues.
+    pub fn audit(&self, now: Cycle) -> SimResult<()> {
+        if !self.is_idle() {
+            return Ok(());
+        }
+        let f = self.fault_counters();
+        let accounted = self.delivered + f.dropped_requests + f.dropped_responses;
+        if accounted != self.submitted {
+            return Err(SimError::invariant(
+                "request-conservation",
+                format!(
+                    "submitted {} != delivered {} + dropped requests {} + dropped responses {} at drain",
+                    self.submitted, self.delivered, f.dropped_requests, f.dropped_responses
+                ),
+                now,
+            ));
+        }
+        Ok(())
     }
 
     /// Total L2 accesses across banks (for the energy model).
@@ -142,13 +277,14 @@ impl MemorySystem {
         self.to_l2.iter().all(DelayPipe::is_empty)
             && self.from_l2.iter().all(DelayPipe::is_empty)
             && self.banks.iter().all(L2Bank::is_idle)
+            && self.delayed.is_empty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_common::{Pc, SmId, WarpId};
+    use gpu_common::{FaultPlan, Pc, SmId, WarpId};
 
     fn small_cfg() -> GpuConfig {
         GpuConfig::small_test()
@@ -161,7 +297,7 @@ mod tests {
     #[test]
     fn round_trip_latency() {
         let cfg = small_cfg();
-        let mut ms = MemorySystem::new(&cfg);
+        let mut ms = MemorySystem::new(&cfg).unwrap();
         ms.submit(0, load(1, 0), 0);
         let mut arrival = None;
         for now in 0..3000 {
@@ -178,12 +314,23 @@ mod tests {
         assert!((456..480).contains(&at), "arrival at {at}");
         assert_eq!(ms.stats().bytes_to_sm, cfg.l1.line_bytes);
         assert!(ms.is_idle());
+        assert_eq!((ms.submitted(), ms.delivered()), (1, 1));
+        assert_eq!(ms.in_flight(), 0);
+        assert!(ms.audit(3000).is_ok());
+    }
+
+    #[test]
+    fn invalid_config_is_typed_error() {
+        let mut cfg = small_cfg();
+        cfg.dram.partitions = 0;
+        let err = MemorySystem::new(&cfg).unwrap_err();
+        assert_eq!(err.class(), "config-validation");
     }
 
     #[test]
     fn l2_hit_is_faster() {
         let cfg = small_cfg();
-        let mut ms = MemorySystem::new(&cfg);
+        let mut ms = MemorySystem::new(&cfg).unwrap();
         ms.submit(0, load(1, 0), 0);
         let mut now = 0;
         loop {
@@ -214,7 +361,7 @@ mod tests {
     #[test]
     fn partition_interleaving_covers_all_banks() {
         let cfg = GpuConfig::paper_baseline();
-        let ms = MemorySystem::new(&cfg);
+        let ms = MemorySystem::new(&cfg).unwrap();
         let mut seen = vec![false; cfg.dram.partitions];
         for l in 0..64u64 {
             seen[ms.partition_of(LineAddr(l))] = true;
@@ -235,7 +382,7 @@ mod tests {
     fn fills_routed_to_correct_sm() {
         let mut cfg = small_cfg();
         cfg.core.num_sms = 2;
-        let mut ms = MemorySystem::new(&cfg);
+        let mut ms = MemorySystem::new(&cfg).unwrap();
         ms.submit(0, load(1, 0), 0);
         ms.submit(1, load(2, 1), 0);
         let mut got = [false; 2];
@@ -254,7 +401,7 @@ mod tests {
     #[test]
     fn latency_accounting() {
         let cfg = small_cfg();
-        let mut ms = MemorySystem::new(&cfg);
+        let mut ms = MemorySystem::new(&cfg).unwrap();
         ms.note_load_latency(100);
         ms.note_load_latency(300);
         assert!((ms.stats().avg_load_latency() - 200.0).abs() < 1e-12);
@@ -263,7 +410,7 @@ mod tests {
     #[test]
     fn store_generates_dram_write_traffic() {
         let cfg = small_cfg();
-        let mut ms = MemorySystem::new(&cfg);
+        let mut ms = MemorySystem::new(&cfg).unwrap();
         let st = MemRequest::store(LineAddr(1), SmId(0), WarpId(0), Pc(0), 0);
         ms.submit(0, st, 0);
         for now in 0..600 {
@@ -272,5 +419,65 @@ mod tests {
         }
         assert_eq!(ms.dram_accesses(), 1);
         assert_eq!(ms.stats().bytes_to_sm, 0);
+        // Stores are posted: they never enter the conservation ledger.
+        assert_eq!((ms.submitted(), ms.delivered()), (0, 0));
+        assert!(ms.audit(600).is_ok());
+    }
+
+    #[test]
+    fn dropped_response_never_arrives_but_audit_balances() {
+        let cfg = small_cfg();
+        let mut ms = MemorySystem::new(&cfg).unwrap();
+        ms.set_fault_state(FaultPlan::seeded(1).dropping_dram_responses(1.0).state(0));
+        ms.submit(0, load(1, 0), 0);
+        for now in 0..2000 {
+            ms.tick(now);
+            assert!(ms.drain_fills(0, now).is_empty(), "response was dropped");
+        }
+        assert!(ms.is_idle());
+        assert_eq!(ms.fault_counters().dropped_responses, 1);
+        assert_eq!(ms.in_flight(), 0, "drop is accounted, not leaked");
+        assert!(ms.audit(2000).is_ok(), "audit attributes the gap to the fault");
+    }
+
+    #[test]
+    fn delayed_response_arrives_late() {
+        let cfg = small_cfg();
+        let mut ms = MemorySystem::new(&cfg).unwrap();
+        ms.set_fault_state(
+            FaultPlan::seeded(2)
+                .delaying_dram_responses(1.0, 500)
+                .state(0),
+        );
+        ms.submit(0, load(1, 0), 0);
+        let mut arrival = None;
+        for now in 0..3000 {
+            ms.tick(now);
+            if !ms.drain_fills(0, now).is_empty() {
+                arrival = Some(now);
+                break;
+            }
+        }
+        let at = arrival.expect("delayed fill still arrives");
+        assert!(at > 900, "delay added on top of the base trip: {at}");
+        assert_eq!(ms.fault_counters().delayed_responses, 1);
+        assert!(ms.is_idle());
+        assert!(ms.audit(3000).is_ok());
+    }
+
+    #[test]
+    fn dropped_noc_request_is_accounted() {
+        let cfg = small_cfg();
+        let mut ms = MemorySystem::new(&cfg).unwrap();
+        ms.set_fault_state(FaultPlan::seeded(3).dropping_noc_requests(1.0).state(0));
+        ms.submit(0, load(1, 0), 0);
+        for now in 0..1000 {
+            ms.tick(now);
+            assert!(ms.drain_fills(0, now).is_empty());
+        }
+        assert_eq!(ms.fault_counters().dropped_requests, 1);
+        assert_eq!(ms.submitted(), 1);
+        assert_eq!(ms.in_flight(), 0);
+        assert!(ms.audit(1000).is_ok());
     }
 }

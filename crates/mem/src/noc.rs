@@ -48,7 +48,9 @@ impl<T> DelayPipe<T> {
         while out.len() < budget {
             match self.queue.front() {
                 Some(&(ready, _)) if ready <= now => {
-                    out.push(self.queue.pop_front().expect("front exists").1);
+                    if let Some((_, item)) = self.queue.pop_front() {
+                        out.push(item);
+                    }
                 }
                 _ => break,
             }

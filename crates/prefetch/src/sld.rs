@@ -63,20 +63,19 @@ impl Prefetcher for Sld {
         let block = acc.line.0 / BLOCK_LINES;
         let line_in_block = (acc.line.0 % BLOCK_LINES) as u8;
         let tick = self.tick;
-        let entry = match self.table.get_mut(&block) {
-            Some(e) => e,
-            None => {
-                self.evict_lru_if_full();
-                self.table.insert(
-                    block,
-                    BlockEntry {
-                        touched: 0,
-                        fired: false,
-                        lru: tick,
-                    },
-                );
-                self.table.get_mut(&block).expect("just inserted")
-            }
+        if !self.table.contains_key(&block) {
+            self.evict_lru_if_full();
+            self.table.insert(
+                block,
+                BlockEntry {
+                    touched: 0,
+                    fired: false,
+                    lru: tick,
+                },
+            );
+        }
+        let Some(entry) = self.table.get_mut(&block) else {
+            return Vec::new();
         };
         entry.lru = tick;
         entry.touched |= 1 << line_in_block;

@@ -3,11 +3,50 @@
 use crate::sm::Sm;
 use crate::traits::{Prefetcher, WarpScheduler};
 use gpu_common::config::GpuConfig;
+use gpu_common::fault::{FaultCounters, FaultPlan};
 use gpu_common::stats::{CacheStats, EnergyEvents, MemStats, PrefetchStats, SimStats};
-use gpu_common::{Cycle, SmId};
+use gpu_common::{Cycle, DeadlockDiagnosis, SimError, SimResult, SmId};
 use gpu_kernel::Kernel;
 use gpu_mem::memsys::MemorySystem;
 use std::sync::Arc;
+
+/// Default forward-progress watchdog window: if no instruction issues and
+/// no memory response is delivered for this many cycles, the run is
+/// declared deadlocked (typed [`SimError::WatchdogTimeout`]). Generous
+/// against the worst legitimate gap (a full DRAM queue drain is thousands
+/// of cycles, not tens of thousands).
+pub const DEFAULT_WATCHDOG_WINDOW: Cycle = 100_000;
+
+/// How a run ended (never silently — a budget-capped run is distinguishable
+/// from a drained one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// Every warp retired and the memory system drained.
+    Drained,
+    /// The cycle budget ran out with work still in flight.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        budget: Cycle,
+    },
+}
+
+impl Termination {
+    /// `true` when the run fully drained.
+    pub fn is_drained(self) -> bool {
+        matches!(self, Termination::Drained)
+    }
+}
+
+impl std::fmt::Display for Termination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Termination::Drained => f.write_str("drained"),
+            Termination::BudgetExhausted { budget } => {
+                write!(f, "budget-exhausted({budget})")
+            }
+        }
+    }
+}
 
 /// Factory producing one scheduler instance per SM.
 pub type SchedulerFactory<'a> = dyn Fn(SmId) -> Box<dyn WarpScheduler> + 'a;
@@ -46,8 +85,13 @@ pub struct RunResult {
     pub kernel: String,
     /// Cycles simulated.
     pub cycles: Cycle,
-    /// The run hit the cycle cap before all warps retired.
+    /// The run hit the cycle cap before all warps retired. Redundant with
+    /// [`RunResult::termination`]; kept for call-site brevity.
     pub timed_out: bool,
+    /// How the run ended.
+    pub termination: Termination,
+    /// Injected-fault counters (all zero unless a fault plan was armed).
+    pub faults: FaultCounters,
     /// Issue statistics summed over SMs (with `cycles` set).
     pub sim: SimStats,
     /// L1 demand statistics summed over SMs.
@@ -88,22 +132,26 @@ pub struct Gpu {
     mem: MemorySystem,
     kernel: Arc<Kernel>,
     now: Cycle,
+    /// Forward-progress watchdog window (`None` disables the watchdog).
+    watchdog_window: Option<Cycle>,
+    wd_last_count: u64,
+    wd_last_cycle: Cycle,
 }
 
 impl Gpu {
     /// Builds a GPU from a configuration, kernel, and per-SM policy
     /// factories.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cfg` fails validation.
+    /// [`SimError::ConfigValidation`] if `cfg` fails validation.
     pub fn new(
         cfg: &GpuConfig,
         kernel: Kernel,
         make_sched: &SchedulerFactory<'_>,
         make_prefetch: &PrefetcherFactory<'_>,
-    ) -> Self {
-        cfg.validate().expect("invalid GpuConfig");
+    ) -> SimResult<Self> {
+        cfg.validate()?;
         let kernel = Arc::new(kernel);
         let sms = (0..cfg.core.num_sms)
             .map(|i| {
@@ -111,12 +159,32 @@ impl Gpu {
                 Sm::new(id, cfg, kernel.clone(), make_sched(id), make_prefetch(id))
             })
             .collect();
-        Gpu {
+        Ok(Gpu {
             sms,
-            mem: MemorySystem::new(cfg),
+            mem: MemorySystem::new(cfg)?,
             kernel,
             now: 0,
+            watchdog_window: Some(DEFAULT_WATCHDOG_WINDOW),
+            wd_last_count: 0,
+            wd_last_cycle: 0,
             cfg: cfg.clone(),
+        })
+    }
+
+    /// Overrides the forward-progress watchdog window (`None` disables it).
+    pub fn set_watchdog(&mut self, window: Option<Cycle>) {
+        self.watchdog_window = window;
+    }
+
+    /// Arms deterministic fault injection everywhere: the memory system
+    /// (response drops/delays, NoC drops) and every SM (MSHR-exhaustion
+    /// bursts, prediction corruption). Each sink derives an independent
+    /// stream from the plan's seed, so the same plan reproduces the same
+    /// fault sequence run after run.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        self.mem.set_fault_state(plan.state(0));
+        for sm in &mut self.sms {
+            sm.arm_faults(plan);
         }
     }
 
@@ -140,12 +208,74 @@ impl Gpu {
     }
 
     /// Runs to completion or `max_cycles`, returning aggregated results.
-    pub fn run(mut self, max_cycles: Cycle) -> RunResult {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WatchdogTimeout`] when forward progress stops for a full
+    /// watchdog window; [`SimError::InvariantViolation`] when the drain-time
+    /// conservation audit fails.
+    pub fn run(mut self, max_cycles: Cycle) -> SimResult<RunResult> {
         while self.now < max_cycles && !self.is_finished() {
             self.step();
+            self.watchdog_check()?;
         }
-        let timed_out = !self.is_finished();
-        self.into_result(timed_out)
+        self.finish(max_cycles)
+    }
+
+    /// Watchdog: progress = instructions issued + responses delivered.
+    /// Sampled every 256 cycles to keep the cycle loop cheap.
+    fn watchdog_check(&mut self) -> SimResult<()> {
+        let Some(window) = self.watchdog_window else {
+            return Ok(());
+        };
+        if self.now & 0xFF != 0 {
+            return Ok(());
+        }
+        let progress = self.sms.iter().map(|s| s.stats().instructions).sum::<u64>()
+            + self.mem.delivered();
+        if progress != self.wd_last_count {
+            self.wd_last_count = progress;
+            self.wd_last_cycle = self.now;
+            return Ok(());
+        }
+        let idle_cycles = self.now - self.wd_last_cycle;
+        if idle_cycles >= window {
+            return Err(SimError::WatchdogTimeout {
+                cycle: self.now,
+                idle_cycles,
+                diagnosis: self.diagnose(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Snapshot of who is stuck on what (attached to watchdog timeouts).
+    pub fn diagnose(&self) -> DeadlockDiagnosis {
+        let mut stalled_warps = Vec::new();
+        let mut inflight_mshrs = Vec::new();
+        for sm in &self.sms {
+            stalled_warps.extend(sm.stall_report(self.now));
+            inflight_mshrs.extend(sm.inflight_mshr_lines());
+        }
+        DeadlockDiagnosis {
+            stalled_warps,
+            inflight_mshrs,
+            mem_in_flight: self.mem.in_flight(),
+            mem_submitted: self.mem.submitted(),
+            mem_delivered: self.mem.delivered(),
+        }
+    }
+
+    fn finish(self, budget: Cycle) -> SimResult<RunResult> {
+        let termination = if self.is_finished() {
+            // The ledger only balances at drain; a budget-capped run still
+            // legitimately has requests in flight.
+            self.mem.audit(self.now)?;
+            Termination::Drained
+        } else {
+            Termination::BudgetExhausted { budget }
+        };
+        Ok(self.into_result(termination))
     }
 
     /// Like [`Gpu::run`], additionally sampling aggregate counters every
@@ -155,12 +285,17 @@ impl Gpu {
     /// # Panics
     ///
     /// Panics if `interval` is zero.
-    pub fn run_sampled(mut self, max_cycles: Cycle, interval: Cycle) -> (RunResult, Vec<Sample>) {
+    pub fn run_sampled(
+        mut self,
+        max_cycles: Cycle,
+        interval: Cycle,
+    ) -> SimResult<(RunResult, Vec<Sample>)> {
         assert!(interval > 0, "interval must be > 0");
         let mut samples = Vec::new();
         let mut last = Snapshot::default();
         while self.now < max_cycles && !self.is_finished() {
             self.step();
+            self.watchdog_check()?;
             if self.now.is_multiple_of(interval) {
                 let cur = self.snapshot();
                 samples.push(Sample {
@@ -179,32 +314,41 @@ impl Gpu {
                 last = cur;
             }
         }
-        let timed_out = !self.is_finished();
-        (self.into_result(timed_out), samples)
+        Ok((self.finish(max_cycles)?, samples))
     }
 
     /// Like [`Gpu::run`], recording up to `capacity` pipeline events from
     /// `sm` (see [`crate::trace`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `sm` is out of range or `capacity` is zero.
+    /// [`SimError::ConfigValidation`] if `sm` is out of range, plus
+    /// everything [`Gpu::run`] can return.
     pub fn run_traced(
         mut self,
         max_cycles: Cycle,
         sm: usize,
         capacity: usize,
-    ) -> (RunResult, Vec<crate::trace::TraceEvent>) {
-        self.sms[sm].enable_trace(capacity);
+    ) -> SimResult<(RunResult, Vec<crate::trace::TraceEvent>)> {
+        let num_sms = self.sms.len();
+        let Some(traced) = self.sms.get_mut(sm) else {
+            return Err(SimError::config(
+                "trace.sm_index",
+                format!("SM {sm} out of range ({num_sms} SMs)"),
+            ));
+        };
+        traced.enable_trace(capacity);
         while self.now < max_cycles && !self.is_finished() {
             self.step();
+            self.watchdog_check()?;
         }
-        let timed_out = !self.is_finished();
-        let trace = self.sms[sm]
-            .take_trace()
-            .expect("tracing was enabled")
-            .into_events();
-        (self.into_result(timed_out), trace)
+        let trace = self
+            .sms
+            .get_mut(sm)
+            .and_then(Sm::take_trace)
+            .map(crate::trace::TraceBuffer::into_events)
+            .unwrap_or_default();
+        Ok((self.finish(max_cycles)?, trace))
     }
 
     fn snapshot(&self) -> Snapshot {
@@ -219,16 +363,26 @@ impl Gpu {
         s
     }
 
-    fn into_result(mut self, timed_out: bool) -> RunResult {
+    fn into_result(mut self, termination: Termination) -> RunResult {
         let cycles = self.now;
+        let mut faults = self.mem.fault_counters();
+        for sm in &self.sms {
+            faults.add(&sm.fault_counters());
+        }
         let mut sim = SimStats::default();
         let mut l1 = CacheStats::default();
         let mut prefetch = PrefetchStats::default();
         let mut energy = EnergyEvents::default();
         let mut per_pc: std::collections::HashMap<gpu_common::Pc, gpu_mem::l1::PcStats> =
             std::collections::HashMap::new();
-        let scheduler = self.sms[0].scheduler_name().to_owned();
-        let prefetcher = self.sms[0].prefetcher_name().to_owned();
+        let scheduler = self
+            .sms
+            .first()
+            .map_or_else(String::new, |s| s.scheduler_name().to_owned());
+        let prefetcher = self
+            .sms
+            .first()
+            .map_or_else(String::new, |s| s.prefetcher_name().to_owned());
         for sm in &mut self.sms {
             let s = sm.stats();
             sim.instructions += s.instructions;
@@ -257,7 +411,9 @@ impl Gpu {
             prefetcher,
             kernel: self.kernel.name().to_owned(),
             cycles,
-            timed_out,
+            timed_out: !termination.is_drained(),
+            termination,
+            faults,
             sim,
             l1,
             prefetch,
@@ -347,6 +503,7 @@ mod tests {
             &|_| Box::new(SimpleRoundRobin::default()),
             &|_| Box::new(NullPrefetcher),
         )
+        .unwrap()
     }
 
     fn strided_kernel(iters: u64) -> Kernel {
@@ -361,7 +518,7 @@ mod tests {
 
     #[test]
     fn runs_to_completion() {
-        let res = small_gpu(strided_kernel(4)).run(2_000_000);
+        let res = small_gpu(strided_kernel(4)).run(2_000_000).unwrap();
         assert!(!res.timed_out);
         // 16 warps × 2 instr × 4 iters.
         assert_eq!(res.sim.instructions, 16 * 2 * 4);
@@ -372,8 +529,8 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let a = small_gpu(strided_kernel(6)).run(2_000_000);
-        let b = small_gpu(strided_kernel(6)).run(2_000_000);
+        let a = small_gpu(strided_kernel(6)).run(2_000_000).unwrap();
+        let b = small_gpu(strided_kernel(6)).run(2_000_000).unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.sim, b.sim);
         assert_eq!(a.l1, b.l1);
@@ -386,7 +543,7 @@ mod tests {
             .alu(8, &[0])
             .iterations(8)
             .build();
-        let res = small_gpu(k).run(2_000_000);
+        let res = small_gpu(k).run(2_000_000).unwrap();
         assert!(!res.timed_out);
         // All warps read the same address: one cold miss, rest hits/merges.
         assert!(
@@ -400,7 +557,7 @@ mod tests {
     #[test]
     fn thrashing_kernel_misses() {
         // Strides far exceeding cache capacity with no reuse.
-        let res = small_gpu(strided_kernel(8)).run(2_000_000);
+        let res = small_gpu(strided_kernel(8)).run(2_000_000).unwrap();
         assert!(
             res.l1.miss_rate() > 0.9,
             "miss rate {} too low",
@@ -412,21 +569,113 @@ mod tests {
 
     #[test]
     fn timeout_reported() {
-        let res = small_gpu(strided_kernel(50)).run(100);
+        let res = small_gpu(strided_kernel(50)).run(100).unwrap();
         assert!(res.timed_out);
+        assert_eq!(res.termination, Termination::BudgetExhausted { budget: 100 });
         assert_eq!(res.cycles, 100);
     }
 
     #[test]
+    fn drained_run_reports_drained() {
+        let res = small_gpu(strided_kernel(2)).run(2_000_000).unwrap();
+        assert_eq!(res.termination, Termination::Drained);
+        assert_eq!(res.faults.total(), 0);
+    }
+
+    #[test]
+    fn invalid_config_is_typed_error() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.l1.ways = 0;
+        let err = Gpu::new(
+            &cfg,
+            strided_kernel(1),
+            &|_| Box::new(SimpleRoundRobin::default()),
+            &|_| Box::new(NullPrefetcher),
+        )
+        .err()
+        .unwrap();
+        assert_eq!(err.class(), "config-validation");
+    }
+
+    #[test]
+    fn dropped_responses_trip_the_watchdog_with_diagnosis() {
+        let mut gpu = small_gpu(strided_kernel(4));
+        gpu.arm_faults(&gpu_common::FaultPlan::seeded(7).dropping_dram_responses(1.0));
+        gpu.set_watchdog(Some(2_000));
+        let err = gpu.run(2_000_000).expect_err("must deadlock");
+        let gpu_common::SimError::WatchdogTimeout {
+            idle_cycles,
+            diagnosis,
+            ..
+        } = &err
+        else {
+            panic!("expected watchdog timeout, got {err:?}");
+        };
+        assert!(*idle_cycles >= 2_000);
+        assert!(
+            !diagnosis.stalled_warps.is_empty(),
+            "diagnosis names no stalled warps"
+        );
+        assert!(diagnosis
+            .stalled_warps
+            .iter()
+            .any(|w| w.waiting_on == gpu_common::StallReason::PendingLoad));
+        // Dropped responses leave the conservation ledger balanced (the
+        // drop is accounted), so in-flight is 0 — but the L1 MSHRs still
+        // hold the never-answered misses.
+        assert!(!diagnosis.inflight_mshrs.is_empty());
+        assert!(diagnosis.mem_submitted > diagnosis.mem_delivered);
+    }
+
+    #[test]
+    fn watchdog_disabled_runs_to_budget() {
+        let mut gpu = small_gpu(strided_kernel(4));
+        gpu.arm_faults(&gpu_common::FaultPlan::seeded(7).dropping_dram_responses(1.0));
+        gpu.set_watchdog(None);
+        let res = gpu.run(50_000).unwrap();
+        assert_eq!(res.termination, Termination::BudgetExhausted { budget: 50_000 });
+        assert!(res.faults.dropped_responses > 0);
+    }
+
+    #[test]
+    fn mshr_burst_faults_are_counted_and_survivable() {
+        let mut gpu = small_gpu(strided_kernel(6));
+        gpu.arm_faults(&gpu_common::FaultPlan::seeded(11).exhausting_mshrs(64, 16));
+        let res = gpu.run(2_000_000).unwrap();
+        assert_eq!(res.termination, Termination::Drained);
+        assert!(res.faults.mshr_refusals > 0, "burst never fired");
+        assert_eq!(res.sim.instructions, 16 * 2 * 6);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = || {
+            let mut gpu = small_gpu(strided_kernel(5));
+            gpu.arm_faults(
+                &gpu_common::FaultPlan::seeded(3)
+                    .delaying_dram_responses(0.5, 400)
+                    .exhausting_mshrs(128, 8),
+            );
+            gpu.run(2_000_000).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.sim, b.sim);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.termination, Termination::Drained);
+    }
+
+    #[test]
     fn speedup_over() {
-        let a = small_gpu(strided_kernel(4)).run(2_000_000);
-        let b = small_gpu(strided_kernel(4)).run(2_000_000);
+        let a = small_gpu(strided_kernel(4)).run(2_000_000).unwrap();
+        let b = small_gpu(strided_kernel(4)).run(2_000_000).unwrap();
         assert!((a.speedup_over(&b) - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn energy_events_populated() {
-        let res = small_gpu(strided_kernel(4)).run(2_000_000);
+        let res = small_gpu(strided_kernel(4)).run(2_000_000).unwrap();
         assert!(res.energy.alu_ops > 0);
         assert!(res.energy.l1_accesses > 0);
         assert!(res.energy.l2_accesses > 0);
@@ -445,7 +694,7 @@ mod tests {
                 .iterations(64)
                 .build()
         };
-        let single = small_gpu(compute()).run(2_000_000);
+        let single = small_gpu(compute()).run(2_000_000).unwrap();
         let mut cfg = GpuConfig::small_test();
         cfg.core.issue_width = 2;
         let dual = Gpu::new(
@@ -454,7 +703,9 @@ mod tests {
             &|_| Box::new(SimpleRoundRobin::default()),
             &|_| Box::new(NullPrefetcher),
         )
-        .run(2_000_000);
+        .unwrap()
+        .run(2_000_000)
+        .unwrap();
         assert!(!dual.timed_out);
         assert_eq!(single.sim.instructions, dual.sim.instructions);
         assert!(
@@ -476,8 +727,9 @@ mod tests {
             k,
             &|_| Box::new(SimpleRoundRobin::default()),
             &|_| Box::new(NullPrefetcher),
-        );
-        let res = gpu.run(2_000_000);
+        )
+        .unwrap();
+        let res = gpu.run(2_000_000).unwrap();
         assert!(!res.timed_out);
         // 16 warps × 3 waves × 2 instructions × 4 iterations.
         assert_eq!(res.sim.instructions, 16 * 3 * 2 * 4);
@@ -495,8 +747,10 @@ mod tests {
             &|_| Box::new(SimpleRoundRobin::default()),
             &|_| Box::new(NullPrefetcher),
         )
-        .run(2_000_000);
-        let flat = small_gpu(strided_kernel(4)).run(2_000_000);
+        .unwrap()
+        .run(2_000_000)
+        .unwrap();
+        let flat = small_gpu(strided_kernel(4)).run(2_000_000).unwrap();
         assert!(!skewed.timed_out);
         assert!(
             skewed.cycles > flat.cycles,
@@ -510,7 +764,7 @@ mod tests {
     #[test]
     fn traced_run_records_pipeline_events() {
         use crate::trace::{IssueKind, TraceEvent};
-        let (res, trace) = small_gpu(strided_kernel(4)).run_traced(2_000_000, 0, 1 << 16);
+        let (res, trace) = small_gpu(strided_kernel(4)).run_traced(2_000_000, 0, 1 << 16).unwrap();
         assert!(!res.timed_out);
         assert!(!trace.is_empty());
         // Cycles are non-decreasing.
@@ -536,8 +790,8 @@ mod tests {
 
     #[test]
     fn sampled_run_matches_plain_run() {
-        let plain = small_gpu(strided_kernel(6)).run(2_000_000);
-        let (sampled, samples) = small_gpu(strided_kernel(6)).run_sampled(2_000_000, 100);
+        let plain = small_gpu(strided_kernel(6)).run(2_000_000).unwrap();
+        let (sampled, samples) = small_gpu(strided_kernel(6)).run_sampled(2_000_000, 100).unwrap();
         assert_eq!(plain.cycles, sampled.cycles);
         assert_eq!(plain.sim, sampled.sim);
         assert!(!samples.is_empty());
@@ -563,7 +817,7 @@ mod tests {
             .alu(4, &[1])
             .iterations(4)
             .build();
-        let res = small_gpu(k).run(2_000_000);
+        let res = small_gpu(k).run(2_000_000).unwrap();
         assert!(!res.timed_out, "barrier must not deadlock");
         assert_eq!(res.sim.instructions, 16 * 4 * 4);
     }
@@ -583,8 +837,9 @@ mod tests {
             k,
             &|_| Box::new(SimpleRoundRobin::default()),
             &|_| Box::new(NullPrefetcher),
-        );
-        let res = gpu.run(2_000_000);
+        )
+        .unwrap();
+        let res = gpu.run(2_000_000).unwrap();
         assert!(!res.timed_out);
         assert_eq!(res.sim.instructions, 16 * 2 * 3 * 3);
     }
@@ -595,7 +850,7 @@ mod tests {
             .store(AddressPattern::warp_strided(0, 4096, 4096 * 16, 4), &[])
             .iterations(3)
             .build();
-        let res = small_gpu(k).run(2_000_000);
+        let res = small_gpu(k).run(2_000_000).unwrap();
         assert!(!res.timed_out);
         assert_eq!(res.sim.stores, 16 * 3);
         assert!(res.energy.dram_accesses > 0);

@@ -24,7 +24,7 @@ pub mod sm;
 pub mod trace;
 pub mod traits;
 
-pub use gpu::{Gpu, RunResult};
+pub use gpu::{Gpu, RunResult, Termination, DEFAULT_WATCHDOG_WINDOW};
 pub use sm::Sm;
 pub use traits::{
     DemandAccess, L1Event, L1Outcome, PrefetchRequest, Prefetcher, ReadyWarp, SchedCtx,

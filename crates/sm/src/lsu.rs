@@ -172,10 +172,11 @@ impl Lsu {
     pub fn process_one(&mut self, l1: &mut L1Cache, now: Cycle) -> LsuActivity {
         // Posted stores drain independently (one line per cycle).
         if let Some(st) = self.store_queue.front_mut() {
-            let line = *st.lines.front().expect("ops always hold ≥1 line");
-            let req = MemRequest::store(line, self.sm, st.warp, st.pc, st.issue_cycle);
-            l1.access(req, now);
-            st.lines.pop_front();
+            if let Some(&line) = st.lines.front() {
+                let req = MemRequest::store(line, self.sm, st.warp, st.pc, st.issue_cycle);
+                l1.access(req, now);
+                st.lines.pop_front();
+            }
             if st.lines.is_empty() {
                 self.store_queue.pop_front();
             }
@@ -184,7 +185,11 @@ impl Lsu {
         let Some(op) = self.queue.front() else {
             return activity;
         };
-        let line = *op.lines.front().expect("ops always hold ≥1 line");
+        let Some(&line) = op.lines.front() else {
+            // Ops always hold ≥1 line; an empty one has nothing to send.
+            self.queue.pop_front();
+            return activity;
+        };
         let is_head = !op.head_sent;
         let key = op_key(op);
         let req = if op.is_load {
@@ -217,17 +222,21 @@ impl Lsu {
         };
         // Re-borrow the head op (resolve_line may have completed it, but the
         // queue entry survives until all its lines are sent).
-        let op = self.queue.front_mut().expect("still present");
+        let Some(op) = self.queue.front_mut() else {
+            return activity;
+        };
         op.head_sent = true;
         if op.is_load && is_head {
-            activity.head_event = Some(L1Event {
-                warp: op.warp,
-                pc: op.pc,
-                addr: op.addr0,
-                line,
-                outcome: l1_outcome.expect("loads always produce an outcome"),
-                now,
-            });
+            if let Some(outcome) = l1_outcome {
+                activity.head_event = Some(L1Event {
+                    warp: op.warp,
+                    pc: op.pc,
+                    addr: op.addr0,
+                    line,
+                    outcome,
+                    now,
+                });
+            }
         }
         op.lines.pop_front();
         if op.lines.is_empty() {
@@ -254,7 +263,9 @@ impl Lsu {
         }
         st.latest_ready = st.latest_ready.max(ready);
         if st.lines_left == 0 && st.fills_pending == 0 {
-            let st = self.outstanding.remove(&key).expect("present");
+            let Some(st) = self.outstanding.remove(&key) else {
+                return;
+            };
             out.completions.push(LoadCompletion {
                 warp: key.warp,
                 body_idx: key.body_idx,

@@ -18,8 +18,9 @@ use crate::traits::{
     DemandAccess, PrefetchRequest, Prefetcher, ReadyWarp, SchedCtx, WarpScheduler,
 };
 use gpu_common::config::GpuConfig;
+use gpu_common::fault::{FaultCounters, FaultPlan};
 use gpu_common::stats::{CacheStats, EnergyEvents, PrefetchStats, SimStats};
-use gpu_common::{Cycle, SmId, WarpId};
+use gpu_common::{Cycle, LineAddr, SmId, StallReason, StalledWarp, WarpId};
 use gpu_kernel::{Kernel, Op, PatternSampler, WarpProgram, WarpProgress};
 use gpu_mem::coalesce::coalesce;
 use gpu_mem::l1::L1Cache;
@@ -334,14 +335,17 @@ impl Sm {
         let store_room = self.lsu.has_store_room();
         let mut structural = false;
         for w in self.warps.iter() {
-            if w.can_issue(&self.kernel, now) {
-                // Only the LSU kept it out of the ready set.
-                let instr = w.current(&self.kernel).expect("can_issue");
-                let excluded = if instr.op.is_load() { !lsu_room } else { !store_room };
-                if instr.op.is_mem() && excluded {
-                    structural = true;
-                    break;
-                }
+            if !w.can_issue(&self.kernel, now) {
+                continue;
+            }
+            // Only the LSU kept it out of the ready set.
+            let Some(instr) = w.current(&self.kernel) else {
+                continue;
+            };
+            let excluded = if instr.op.is_load() { !lsu_room } else { !store_room };
+            if instr.op.is_mem() && excluded {
+                structural = true;
+                break;
             }
         }
         if structural {
@@ -367,7 +371,7 @@ impl Sm {
             .filter(|(i, w)| self.wave[*i] == wave && !w.is_finished())
             .count();
         if arrived.len() >= participants {
-            let arrived = self.barriers.remove(&key).expect("just inserted");
+            let arrived = self.barriers.remove(&key).unwrap_or_default();
             let released = arrived.len() as u32;
             for w in arrived {
                 self.warps[w.index()].release_barrier();
@@ -395,7 +399,9 @@ impl Sm {
             if !w.can_issue(&self.kernel, now) {
                 continue;
             }
-            let instr = w.current(&self.kernel).expect("can_issue implies current");
+            let Some(instr) = w.current(&self.kernel) else {
+                continue;
+            };
             let is_mem = instr.op.is_mem();
             let is_load = instr.op.is_load();
             if is_mem && ((is_load && !lsu_room) || (!is_load && !store_room)) {
@@ -467,6 +473,58 @@ impl Sm {
     /// Number of warps that have fully retired.
     pub fn finished_warps(&self) -> usize {
         self.warps.iter().filter(|w| w.is_finished()).count()
+    }
+
+    /// Arms deterministic fault injection on this SM's L1 (MSHR-exhaustion
+    /// bursts) and prefetcher (prediction corruption). Each structure gets
+    /// its own stream so outcomes are independent of SM count elsewhere.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        self.l1.set_fault_state(plan.state(1 + u64::from(self.id.0)));
+        self.prefetcher
+            .set_fault_state(plan.state(0x5A0 + u64::from(self.id.0)));
+    }
+
+    /// Injected-fault counters accumulated by this SM (L1 + prefetcher).
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut c = self.l1.fault_counters();
+        c.add(&self.prefetcher.fault_counters());
+        c
+    }
+
+    /// Names every unretired warp and what it is waiting on. Feeds the
+    /// watchdog's [`gpu_common::DeadlockDiagnosis`].
+    pub fn stall_report(&self, now: Cycle) -> Vec<StalledWarp> {
+        let mut out = Vec::new();
+        for (i, w) in self.warps.iter().enumerate() {
+            if w.is_finished() {
+                continue;
+            }
+            let waiting_on = if w.at_barrier() {
+                StallReason::Barrier
+            } else if w.blocked_on_load(&self.kernel, now) {
+                StallReason::PendingLoad
+            } else if w.can_issue(&self.kernel, now) {
+                StallReason::NeverScheduled
+            } else {
+                StallReason::Dependency
+            };
+            out.push(StalledWarp {
+                sm: self.id,
+                warp: WarpId(i as u32),
+                iter: w.iter(),
+                body_idx: w.body_idx(),
+                waiting_on,
+            });
+        }
+        out
+    }
+
+    /// In-flight L1 MSHR entries as `(sm, line, waiting requests)` triples.
+    pub fn inflight_mshr_lines(&self) -> Vec<(SmId, LineAddr, usize)> {
+        self.l1
+            .inflight_mshrs()
+            .map(|e| (self.id, e.line, 1 + e.merged.len()))
+            .collect()
     }
 }
 

@@ -1,6 +1,7 @@
 //! Scheduler and prefetcher interfaces and the events the pipeline feeds
 //! them (the Figure 5 wiring).
 
+use gpu_common::fault::{FaultCounters, FaultState};
 use gpu_common::{Addr, Cycle, LineAddr, Pc, SmId, WarpId};
 use gpu_mem::request::RequestSource;
 
@@ -171,6 +172,15 @@ pub trait Prefetcher {
     /// Accesses to engine-private SRAM structures so far (energy model).
     fn table_accesses(&self) -> u64 {
         0
+    }
+
+    /// Arms deterministic fault injection (prediction corruption). Engines
+    /// without an injectable surface ignore the call.
+    fn set_fault_state(&mut self, _fault: FaultState) {}
+
+    /// Injected-fault counters accumulated by this engine.
+    fn fault_counters(&self) -> FaultCounters {
+        FaultCounters::default()
     }
 }
 

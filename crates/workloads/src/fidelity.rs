@@ -115,10 +115,18 @@ pub fn fidelity_report(cfg: &GpuConfig) -> Vec<FidelityRow> {
         let profiles = match cache.iter().find(|(app, _)| *app == paper.app) {
             Some((_, p)) => p.clone(),
             None => {
-                let bench = Benchmark::ALL
+                let Some(bench) = Benchmark::ALL
                     .into_iter()
                     .find(|b| b.label() == paper.app)
-                    .expect("every Table I app has a workload");
+                else {
+                    // Every Table I app ships a workload; a missing one just
+                    // yields an unmeasured row rather than a panic.
+                    out.push(FidelityRow {
+                        paper: *paper,
+                        measured: None,
+                    });
+                    continue;
+                };
                 let p = characterize(&bench.kernel(), cfg, None);
                 cache.push((paper.app, p.clone()));
                 p

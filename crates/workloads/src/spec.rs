@@ -2,17 +2,19 @@
 //!
 //! A [`KernelSpec`] is a plain-data description of a kernel — instruction
 //! list, address patterns, iterations, seed — that round-trips through
-//! serde (JSON on disk), so downstream users can version and share workload
-//! files instead of writing builder code. [`KernelSpec::build`] validates
-//! and lowers a spec into a [`Kernel`]; [`KernelSpec::from_kernel`] lifts
-//! any built kernel (including the bundled benchmarks) back into a spec.
+//! JSON on disk (via [`gpu_common::json`]), so downstream users can version
+//! and share workload files instead of writing builder code.
+//! [`KernelSpec::build`] validates and lowers a spec into a [`Kernel`];
+//! [`KernelSpec::from_kernel`] lifts any built kernel (including the
+//! bundled benchmarks) back into a spec. Malformed input yields a typed
+//! [`SimError::Parse`], never a panic.
 
+use gpu_common::json::Json;
+use gpu_common::{SimError, SimResult};
 use gpu_kernel::{AddressPattern, Kernel, Op, StaticInstr};
-use serde::{Deserialize, Serialize};
 
 /// Serialisable form of one address pattern.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PatternSpec {
     /// See [`AddressPattern::SharedStream`].
     SharedStream {
@@ -21,11 +23,9 @@ pub enum PatternSpec {
         /// Per-iteration advance in bytes.
         iter_stride: i64,
         /// Deviation probability.
-        #[serde(default)]
-        noise: f64,
+            noise: f64,
         /// Region deviations land in.
-        #[serde(default = "default_region")]
-        region_bytes: u64,
+            region_bytes: u64,
     },
     /// See [`AddressPattern::WarpStrided`].
     WarpStrided {
@@ -34,17 +34,13 @@ pub enum PatternSpec {
         /// Bytes between consecutive warp IDs.
         warp_stride: i64,
         /// Bytes advanced per loop iteration.
-        #[serde(default)]
-        iter_stride: i64,
+            iter_stride: i64,
         /// Bytes between consecutive lanes.
-        #[serde(default = "default_lane_stride")]
-        lane_stride: u64,
+            lane_stride: u64,
         /// Optional cyclic working-set wrap.
-        #[serde(default)]
-        wrap_bytes: Option<u64>,
+            wrap_bytes: Option<u64>,
         /// Deviation probability.
-        #[serde(default)]
-        noise: f64,
+            noise: f64,
     },
     /// See [`AddressPattern::Irregular`].
     Irregular {
@@ -57,8 +53,7 @@ pub enum PatternSpec {
         /// Hot-region probability.
         hot_prob: f64,
         /// Bytes between consecutive lanes.
-        #[serde(default)]
-        lane_spread: u64,
+            lane_spread: u64,
     },
 }
 
@@ -162,57 +157,226 @@ impl PatternSpec {
     }
 }
 
+fn perr(message: impl Into<String>) -> SimError {
+    SimError::Parse {
+        context: "KernelSpec JSON",
+        message: message.into(),
+    }
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Option<&'a Json> {
+    match v.get(key) {
+        Some(Json::Null) | None => None,
+        Some(f) => Some(f),
+    }
+}
+
+fn req_str<'a>(v: &'a Json, key: &str) -> SimResult<&'a str> {
+    field(v, key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| perr(format!("missing or non-string field {key:?}")))
+}
+
+fn req_u64(v: &Json, key: &str) -> SimResult<u64> {
+    field(v, key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| perr(format!("missing or non-integer field {key:?}")))
+}
+
+fn req_i64(v: &Json, key: &str) -> SimResult<i64> {
+    field(v, key)
+        .and_then(Json::as_i64)
+        .ok_or_else(|| perr(format!("missing or non-integer field {key:?}")))
+}
+
+fn req_f64(v: &Json, key: &str) -> SimResult<f64> {
+    field(v, key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| perr(format!("missing or non-numeric field {key:?}")))
+}
+
+fn opt_u64(v: &Json, key: &str, default: u64) -> SimResult<u64> {
+    match field(v, key) {
+        None => Ok(default),
+        Some(f) => f
+            .as_u64()
+            .ok_or_else(|| perr(format!("non-integer field {key:?}"))),
+    }
+}
+
+fn opt_i64(v: &Json, key: &str, default: i64) -> SimResult<i64> {
+    match field(v, key) {
+        None => Ok(default),
+        Some(f) => f
+            .as_i64()
+            .ok_or_else(|| perr(format!("non-integer field {key:?}"))),
+    }
+}
+
+fn opt_f64(v: &Json, key: &str, default: f64) -> SimResult<f64> {
+    match field(v, key) {
+        None => Ok(default),
+        Some(f) => f
+            .as_f64()
+            .ok_or_else(|| perr(format!("non-numeric field {key:?}"))),
+    }
+}
+
+fn opt_some_u64(v: &Json, key: &str) -> SimResult<Option<u64>> {
+    match field(v, key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| perr(format!("non-integer field {key:?}"))),
+    }
+}
+
+fn deps_field(v: &Json, key: &str) -> SimResult<Vec<usize>> {
+    match field(v, key) {
+        None => Ok(Vec::new()),
+        Some(f) => {
+            let arr = f
+                .as_arr()
+                .ok_or_else(|| perr(format!("field {key:?} must be an array")))?;
+            arr.iter()
+                .map(|d| {
+                    d.as_u64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| perr(format!("non-integer entry in {key:?}")))
+                })
+                .collect()
+        }
+    }
+}
+
+fn opt_json_u64(v: Option<u64>) -> Json {
+    v.map_or(Json::Null, Json::from_u64)
+}
+
+impl PatternSpec {
+    fn to_json_value(&self) -> Json {
+        match self {
+            PatternSpec::SharedStream {
+                base,
+                iter_stride,
+                noise,
+                region_bytes,
+            } => obj(vec![
+                ("kind", Json::str("shared_stream")),
+                ("base", Json::from_u64(*base)),
+                ("iter_stride", Json::from_i64(*iter_stride)),
+                ("noise", Json::from_f64(*noise)),
+                ("region_bytes", Json::from_u64(*region_bytes)),
+            ]),
+            PatternSpec::WarpStrided {
+                base,
+                warp_stride,
+                iter_stride,
+                lane_stride,
+                wrap_bytes,
+                noise,
+            } => obj(vec![
+                ("kind", Json::str("warp_strided")),
+                ("base", Json::from_u64(*base)),
+                ("warp_stride", Json::from_i64(*warp_stride)),
+                ("iter_stride", Json::from_i64(*iter_stride)),
+                ("lane_stride", Json::from_u64(*lane_stride)),
+                ("wrap_bytes", opt_json_u64(*wrap_bytes)),
+                ("noise", Json::from_f64(*noise)),
+            ]),
+            PatternSpec::Irregular {
+                base,
+                working_set_bytes,
+                hot_bytes,
+                hot_prob,
+                lane_spread,
+            } => obj(vec![
+                ("kind", Json::str("irregular")),
+                ("base", Json::from_u64(*base)),
+                ("working_set_bytes", Json::from_u64(*working_set_bytes)),
+                ("hot_bytes", Json::from_u64(*hot_bytes)),
+                ("hot_prob", Json::from_f64(*hot_prob)),
+                ("lane_spread", Json::from_u64(*lane_spread)),
+            ]),
+        }
+    }
+
+    fn from_json_value(v: &Json) -> SimResult<Self> {
+        match req_str(v, "kind")? {
+            "shared_stream" => Ok(PatternSpec::SharedStream {
+                base: req_u64(v, "base")?,
+                iter_stride: req_i64(v, "iter_stride")?,
+                noise: opt_f64(v, "noise", 0.0)?,
+                region_bytes: opt_u64(v, "region_bytes", default_region())?,
+            }),
+            "warp_strided" => Ok(PatternSpec::WarpStrided {
+                base: req_u64(v, "base")?,
+                warp_stride: req_i64(v, "warp_stride")?,
+                iter_stride: opt_i64(v, "iter_stride", 0)?,
+                lane_stride: opt_u64(v, "lane_stride", default_lane_stride())?,
+                wrap_bytes: opt_some_u64(v, "wrap_bytes")?,
+                noise: opt_f64(v, "noise", 0.0)?,
+            }),
+            "irregular" => Ok(PatternSpec::Irregular {
+                base: req_u64(v, "base")?,
+                working_set_bytes: req_u64(v, "working_set_bytes")?,
+                hot_bytes: req_u64(v, "hot_bytes")?,
+                hot_prob: req_f64(v, "hot_prob")?,
+                lane_spread: opt_u64(v, "lane_spread", 0)?,
+            }),
+            other => Err(perr(format!("unknown pattern kind {other:?}"))),
+        }
+    }
+}
+
 /// Serialisable form of one instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "op", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InstrSpec {
     /// Arithmetic with a producer latency.
     Alu {
         /// Producer latency in cycles.
         latency: u64,
         /// Body indices this instruction consumes.
-        #[serde(default)]
-        deps: Vec<usize>,
+            deps: Vec<usize>,
     },
     /// Global load; `pattern` drives its addresses.
     Load {
         /// Address pattern.
         pattern: PatternSpec,
         /// Body indices this instruction consumes.
-        #[serde(default)]
-        deps: Vec<usize>,
+            deps: Vec<usize>,
         /// Explicit PC (auto-assigned when absent).
-        #[serde(default)]
-        pc: Option<u64>,
+            pc: Option<u64>,
         /// Active lanes (< warp size models divergence).
-        #[serde(default)]
-        active_lanes: Option<u32>,
+            active_lanes: Option<u32>,
     },
     /// Global store.
     Store {
         /// Address pattern.
         pattern: PatternSpec,
         /// Body indices this instruction consumes.
-        #[serde(default)]
-        deps: Vec<usize>,
+            deps: Vec<usize>,
     },
     /// Block-wide barrier.
     Barrier {
         /// Body indices this instruction consumes.
-        #[serde(default)]
-        deps: Vec<usize>,
+            deps: Vec<usize>,
     },
 }
 
 /// Serialisable kernel description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelSpec {
     /// Display name.
     pub name: String,
     /// Per-warp loop trips.
     pub iterations: u64,
     /// Workload randomness seed.
-    #[serde(default)]
     pub seed: u64,
     /// Instruction body in program order.
     pub body: Vec<InstrSpec>,
@@ -290,14 +454,110 @@ impl KernelSpec {
     ///
     /// # Errors
     ///
-    /// Returns the serde error for malformed JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// [`SimError::Parse`] for malformed JSON or a well-formed document
+    /// missing required fields.
+    pub fn from_json(json: &str) -> SimResult<Self> {
+        let v = gpu_common::json::parse(json).map_err(perr)?;
+        let name = req_str(&v, "name")?.to_owned();
+        let iterations = req_u64(&v, "iterations")?;
+        let seed = opt_u64(&v, "seed", 0)?;
+        let body = field(&v, "body")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| perr("missing or non-array field \"body\""))?
+            .iter()
+            .map(InstrSpec::from_json_value)
+            .collect::<SimResult<Vec<_>>>()?;
+        Ok(KernelSpec {
+            name,
+            iterations,
+            seed,
+            body,
+        })
     }
 
     /// Serialises the spec as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec serialisation is infallible")
+        obj(vec![
+            ("name", Json::str(self.name.clone())),
+            ("iterations", Json::from_u64(self.iterations)),
+            ("seed", Json::from_u64(self.seed)),
+            (
+                "body",
+                Json::Arr(self.body.iter().map(InstrSpec::to_json_value).collect()),
+            ),
+        ])
+        .to_pretty()
+    }
+}
+
+impl InstrSpec {
+    fn to_json_value(&self) -> Json {
+        fn deps_json(deps: &[usize]) -> Json {
+            Json::Arr(deps.iter().map(|&d| Json::from_u64(d as u64)).collect())
+        }
+        match self {
+            InstrSpec::Alu { latency, deps } => obj(vec![
+                ("op", Json::str("alu")),
+                ("latency", Json::from_u64(*latency)),
+                ("deps", deps_json(deps)),
+            ]),
+            InstrSpec::Load {
+                pattern,
+                deps,
+                pc,
+                active_lanes,
+            } => obj(vec![
+                ("op", Json::str("load")),
+                ("pattern", pattern.to_json_value()),
+                ("deps", deps_json(deps)),
+                ("pc", opt_json_u64(*pc)),
+                (
+                    "active_lanes",
+                    opt_json_u64(active_lanes.map(u64::from)),
+                ),
+            ]),
+            InstrSpec::Store { pattern, deps } => obj(vec![
+                ("op", Json::str("store")),
+                ("pattern", pattern.to_json_value()),
+                ("deps", deps_json(deps)),
+            ]),
+            InstrSpec::Barrier { deps } => obj(vec![
+                ("op", Json::str("barrier")),
+                ("deps", deps_json(deps)),
+            ]),
+        }
+    }
+
+    fn from_json_value(v: &Json) -> SimResult<Self> {
+        match req_str(v, "op")? {
+            "alu" => Ok(InstrSpec::Alu {
+                latency: req_u64(v, "latency")?,
+                deps: deps_field(v, "deps")?,
+            }),
+            "load" => Ok(InstrSpec::Load {
+                pattern: PatternSpec::from_json_value(
+                    field(v, "pattern").ok_or_else(|| perr("load missing \"pattern\""))?,
+                )?,
+                deps: deps_field(v, "deps")?,
+                pc: opt_some_u64(v, "pc")?,
+                active_lanes: opt_some_u64(v, "active_lanes")?
+                    .map(|n| {
+                        u32::try_from(n)
+                            .map_err(|_| perr(format!("active_lanes {n} out of range")))
+                    })
+                    .transpose()?,
+            }),
+            "store" => Ok(InstrSpec::Store {
+                pattern: PatternSpec::from_json_value(
+                    field(v, "pattern").ok_or_else(|| perr("store missing \"pattern\""))?,
+                )?,
+                deps: deps_field(v, "deps")?,
+            }),
+            "barrier" => Ok(InstrSpec::Barrier {
+                deps: deps_field(v, "deps")?,
+            }),
+            other => Err(perr(format!("unknown op {other:?}"))),
+        }
     }
 }
 
@@ -377,8 +637,24 @@ mod tests {
     }
 
     #[test]
-    fn malformed_json_errors() {
-        assert!(KernelSpec::from_json("{not json").is_err());
-        assert!(KernelSpec::from_json(r#"{"name":"x"}"#).is_err());
+    fn malformed_json_errors_are_typed() {
+        for bad in ["{not json", r#"{"name":"x"}"#, "[]", "1"] {
+            let err = KernelSpec::from_json(bad).err().unwrap();
+            assert_eq!(err.class(), "parse", "{bad}");
+        }
+        // Wrong tag and wrong type inside an otherwise valid document.
+        let bad_kind = r#"{"name":"x","iterations":1,"body":[
+            {"op":"load","pattern":{"kind":"diagonal","base":0}}]}"#;
+        assert_eq!(
+            KernelSpec::from_json(bad_kind).err().unwrap().class(),
+            "parse"
+        );
+        let bad_lanes = r#"{"name":"x","iterations":1,"body":[
+            {"op":"load","active_lanes":99999999999,
+             "pattern":{"kind":"warp_strided","base":0,"warp_stride":128}}]}"#;
+        assert_eq!(
+            KernelSpec::from_json(bad_lanes).err().unwrap().class(),
+            "parse"
+        );
     }
 }

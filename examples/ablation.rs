@@ -9,7 +9,7 @@
 
 use apres::{Benchmark, GpuConfig, PrefetcherChoice, SchedulerChoice, Simulation};
 
-fn main() {
+fn main() -> apres::SimResult<()> {
     let mut cfg = GpuConfig::paper_baseline();
     cfg.core.num_sms = 4;
     let bench = std::env::args()
@@ -41,7 +41,7 @@ fn main() {
             .config(cfg.clone())
             .scheduler(s)
             .prefetcher(p)
-            .run();
+            .run()?;
         let base = *base_ipc.get_or_insert(r.ipc());
         println!(
             "{:<22} {:>9} {:>7.3} {:>7.1}% {:>8} {:>9} {:>9.1}%   ({:+.1}% vs baseline)",
@@ -60,4 +60,5 @@ fn main() {
          triggers, and LAWS promotes SAP's targets so their demands merge\n\
          into the prefetch MSHRs (Figure 5's feedback loop)."
     );
+    Ok(())
 }

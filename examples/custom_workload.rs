@@ -37,7 +37,7 @@ fn my_kernel() -> Kernel {
         .build()
 }
 
-fn main() {
+fn main() -> apres::SimResult<()> {
     let mut cfg = GpuConfig::paper_baseline();
     cfg.core.num_sms = 4;
 
@@ -58,7 +58,7 @@ fn main() {
             .config(cfg.clone())
             .scheduler(s)
             .prefetcher(PrefetcherChoice::None)
-            .run();
+            .run()?;
         println!(
             "{:<10} {:>9} {:>7.3} {:>6.1}% {:>8.0}c",
             s.label(),
@@ -70,7 +70,10 @@ fn main() {
         results.push((s, r));
     }
     // And the full APRES stack for comparison.
-    let apres = Simulation::new(my_kernel()).config(cfg).apres().run();
+    let apres = Simulation::new(my_kernel())
+        .config(cfg)
+        .apres()
+        .run()?;
     println!(
         "{:<10} {:>9} {:>7.3} {:>6.1}% {:>8.0}c   ({} prefetches, {:.0}% accurate)",
         "APRES",
@@ -82,14 +85,16 @@ fn main() {
         apres.prefetch.accuracy() * 100.0
     );
 
-    let best = results
+    if let Some(best) = results
         .iter()
         .max_by(|a, b| a.1.ipc().total_cmp(&b.1.ipc()))
-        .expect("at least one scheduler");
-    println!(
-        "\nbest baseline scheduler: {} (IPC {:.3}); APRES speedup over it: {:.3}x",
-        best.0.label(),
-        best.1.ipc(),
-        apres.speedup_over(&best.1)
-    );
+    {
+        println!(
+            "\nbest baseline scheduler: {} (IPC {:.3}); APRES speedup over it: {:.3}x",
+            best.0.label(),
+            best.1.ipc(),
+            apres.speedup_over(&best.1)
+        );
+    }
+    Ok(())
 }

@@ -7,7 +7,7 @@
 
 use apres::{Benchmark, GpuConfig, PrefetcherChoice, SchedulerChoice, Simulation};
 
-fn main() {
+fn main() -> apres::SimResult<()> {
     // A small GPU keeps the example fast; swap in
     // `GpuConfig::paper_baseline()` for the full Table III machine.
     let mut cfg = GpuConfig::paper_baseline();
@@ -26,11 +26,11 @@ fn main() {
         .config(cfg.clone())
         .scheduler(SchedulerChoice::Lrr)
         .prefetcher(PrefetcherChoice::None)
-        .run();
+        .run()?;
     let apres = Simulation::new(bench.kernel())
         .config(cfg)
         .apres() // = scheduler(Laws) + prefetcher(Sap)
-        .run();
+        .run()?;
 
     for r in [&baseline, &apres] {
         println!(
@@ -55,4 +55,5 @@ fn main() {
         "\nAPRES speedup over baseline: {:.3}x",
         apres.speedup_over(&baseline)
     );
+    Ok(())
 }

@@ -22,7 +22,7 @@ fn sparkline(values: &[f64]) -> String {
         .collect()
 }
 
-fn run_sampled(bench: Benchmark, apres: bool) -> Vec<Sample> {
+fn run_sampled(bench: Benchmark, apres: bool) -> apres::SimResult<Vec<Sample>> {
     let mut cfg = GpuConfig::paper_baseline();
     cfg.core.num_sms = 4;
     let kernel = bench.kernel();
@@ -41,11 +41,11 @@ fn run_sampled(bench: Benchmark, apres: bool) -> Vec<Sample> {
             &|_| PrefetchEngine::None.make(),
         )
     };
-    let (_, samples) = gpu.run_sampled(30_000_000, 512);
-    samples
+    let (_, samples) = gpu?.run_sampled(30_000_000, 512)?;
+    Ok(samples)
 }
 
-fn main() {
+fn main() -> apres::SimResult<()> {
     let bench = std::env::args()
         .nth(1)
         .map(|name| {
@@ -61,7 +61,7 @@ fn main() {
 
     println!("per-512-cycle samples on {} (4 SMs)\n", bench.label());
     for (name, apres) in [("baseline", false), ("APRES", true)] {
-        let samples = run_sampled(bench, apres);
+        let samples = run_sampled(bench, apres)?;
         let ipc: Vec<f64> = samples.iter().map(|s| s.ipc).collect();
         let miss: Vec<f64> = samples.iter().map(|s| s.l1_miss_rate).collect();
         println!("{name:>8} IPC  {}", sparkline(&ipc));
@@ -74,4 +74,5 @@ fn main() {
             miss.iter().sum::<f64>() / miss.len().max(1) as f64
         );
     }
+    Ok(())
 }

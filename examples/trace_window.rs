@@ -38,7 +38,7 @@ fn show(ev: &TraceEvent) -> String {
     }
 }
 
-fn main() {
+fn main() -> apres::SimResult<()> {
     let mut args = std::env::args().skip(1);
     let bench = args
         .next()
@@ -71,7 +71,7 @@ fn main() {
                 &|_| PrefetchEngine::None.make(),
             )
         };
-        let (res, trace) = gpu.run_traced(30_000_000, 0, 1 << 18);
+        let (res, trace) = gpu?.run_traced(30_000_000, 0, 1 << 18)?;
         println!(
             "=== {} under {} ({} events, showing a mid-run window of {n}) ===",
             bench.label(),
@@ -88,4 +88,5 @@ fn main() {
             res.l1.miss_rate() * 100.0
         );
     }
+    Ok(())
 }

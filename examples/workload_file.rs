@@ -9,7 +9,7 @@
 use apres::{Benchmark, GpuConfig, Simulation};
 use gpu_workloads::KernelSpec;
 
-fn main() {
+fn main() -> apres::SimResult<()> {
     let bench = std::env::args()
         .nth(1)
         .map(|name| {
@@ -26,13 +26,16 @@ fn main() {
     println!("--- {}.kernel.json ---\n{json}\n", bench.label());
 
     // 2. Round-trip through JSON (in a real workflow: edit the file).
-    let reloaded = KernelSpec::from_json(&json).expect("spec round-trips");
+    let reloaded = KernelSpec::from_json(&json)?;
     assert_eq!(spec, reloaded);
 
     // 3. Build and run the reloaded kernel.
     let mut cfg = GpuConfig::paper_baseline();
     cfg.core.num_sms = 2;
-    let r = Simulation::new(reloaded.build()).config(cfg).apres().run();
+    let r = Simulation::new(reloaded.build())
+        .config(cfg)
+        .apres()
+        .run()?;
     println!(
         "reloaded {} ran under APRES: {} cycles, IPC {:.3}, L1 miss {:.1}%",
         bench.label(),
@@ -40,4 +43,5 @@ fn main() {
         r.ipc(),
         r.l1.miss_rate() * 100.0
     );
+    Ok(())
 }

@@ -1,0 +1,24 @@
+# Developer entry points. `just check` is the pre-merge gate.
+
+# Build + test + lint, exactly what CI runs.
+check: build test clippy
+
+build:
+    cargo build --release --workspace --bins --examples --benches
+
+test:
+    cargo test --workspace
+
+# Panicking escape hatches are denied in library code (workspace [lints]
+# plus clippy.toml's allow-*-in-tests); any warning fails the gate.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Regenerate every paper exhibit at reduced scale (smoke test of the
+# figure pipeline; skipped data points are reported on stderr).
+exhibits-fast:
+    cargo run --release -p apres-bench --bin table1
+    cargo run --release -p apres-bench --bin table2
+    cargo run --release -p apres-bench --bin table3
+    cargo run --release -p apres-bench --bin fig2 -- --fast
+    cargo run --release -p apres-bench --bin fig10 -- --fast

@@ -14,12 +14,15 @@
 //! use apres::{Simulation, SchedulerChoice, PrefetcherChoice, Benchmark, GpuConfig};
 //!
 //! // Run the KMeans-like workload under the full APRES configuration.
+//! // `run` returns a typed `Result`: invalid configurations and
+//! // watchdog-diagnosed deadlocks surface as `SimError`, never panics.
 //! let result = Simulation::new(Benchmark::Km.kernel_scaled(8))
 //!     .config(GpuConfig::small_test())
 //!     .scheduler(SchedulerChoice::Laws)
 //!     .prefetcher(PrefetcherChoice::Sap)
-//!     .run();
-//! assert!(!result.timed_out);
+//!     .run()
+//!     .expect("valid config, no deadlock");
+//! assert!(result.termination.is_drained());
 //! println!("IPC = {:.3}", result.ipc());
 //! ```
 //!
@@ -49,11 +52,13 @@ pub use apres_core::energy::EnergyModel;
 pub use apres_core::hw_cost::HwCost;
 pub use apres_core::sim::{PrefetcherChoice, SchedulerChoice, Simulation};
 pub use apres_core::{Laws, Sap};
+pub use gpu_common::error::{DeadlockDiagnosis, SimError, SimResult};
+pub use gpu_common::fault::{FaultCounters, FaultPlan};
 pub use gpu_common::{Addr, Cycle, GpuConfig, LineAddr, Pc, SmId, WarpId};
 pub use gpu_kernel::{AddressPattern, Kernel};
 pub use gpu_sm::gpu::Sample;
 pub use gpu_sm::trace::{IssueKind, TraceEvent};
-pub use gpu_sm::{Gpu, RunResult};
+pub use gpu_sm::{Gpu, RunResult, Termination, DEFAULT_WATCHDOG_WINDOW};
 pub use gpu_workloads::{
     characterize, fidelity_report, Benchmark, Category, KernelSpec, LoadProfile,
 };

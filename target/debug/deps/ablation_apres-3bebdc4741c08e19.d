@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablation_apres-3bebdc4741c08e19.d: /root/repo/clippy.toml crates/bench/src/bin/ablation_apres.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_apres-3bebdc4741c08e19.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ablation_apres.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ablation_apres.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

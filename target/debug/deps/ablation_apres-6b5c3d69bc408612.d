@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_apres-6b5c3d69bc408612.d: crates/bench/src/bin/ablation_apres.rs
+
+/root/repo/target/debug/deps/ablation_apres-6b5c3d69bc408612: crates/bench/src/bin/ablation_apres.rs
+
+crates/bench/src/bin/ablation_apres.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_apres-80b0e14ef58dd89d.d: crates/bench/src/bin/ablation_apres.rs
+
+/root/repo/target/debug/deps/ablation_apres-80b0e14ef58dd89d: crates/bench/src/bin/ablation_apres.rs
+
+crates/bench/src/bin/ablation_apres.rs:

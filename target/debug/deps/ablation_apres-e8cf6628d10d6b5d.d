@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablation_apres-e8cf6628d10d6b5d.d: /root/repo/clippy.toml crates/bench/src/bin/ablation_apres.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_apres-e8cf6628d10d6b5d.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ablation_apres.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ablation_apres.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

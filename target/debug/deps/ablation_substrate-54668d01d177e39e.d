@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_substrate-54668d01d177e39e.d: crates/bench/src/bin/ablation_substrate.rs
+
+/root/repo/target/debug/deps/ablation_substrate-54668d01d177e39e: crates/bench/src/bin/ablation_substrate.rs
+
+crates/bench/src/bin/ablation_substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_substrate-78cdf98bd7977ddf.d: crates/bench/src/bin/ablation_substrate.rs
+
+/root/repo/target/debug/deps/ablation_substrate-78cdf98bd7977ddf: crates/bench/src/bin/ablation_substrate.rs
+
+crates/bench/src/bin/ablation_substrate.rs:

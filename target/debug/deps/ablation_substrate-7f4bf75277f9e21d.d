@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablation_substrate-7f4bf75277f9e21d.d: /root/repo/clippy.toml crates/bench/src/bin/ablation_substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_substrate-7f4bf75277f9e21d.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ablation_substrate.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ablation_substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/apres-8da30ee7b919bfed.d: src/lib.rs
+
+/root/repo/target/debug/deps/libapres-8da30ee7b919bfed.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libapres-8da30ee7b919bfed.rmeta: src/lib.rs
+
+src/lib.rs:

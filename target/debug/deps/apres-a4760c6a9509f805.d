@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apres-a4760c6a9509f805.d: src/lib.rs
+
+/root/repo/target/debug/deps/apres-a4760c6a9509f805: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/apres_bench-1013911a29cf8d7a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libapres_bench-1013911a29cf8d7a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libapres_bench-1013911a29cf8d7a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apres_bench-63f3ce97d940efd6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/apres_bench-63f3ce97d940efd6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/apres_bench-9d496a55b96e912e.d: /root/repo/clippy.toml crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapres_bench-9d496a55b96e912e.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/apres_core-112bba76ed028684.d: crates/core/src/lib.rs crates/core/src/energy.rs crates/core/src/hw_cost.rs crates/core/src/laws.rs crates/core/src/sap.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/libapres_core-112bba76ed028684.rlib: crates/core/src/lib.rs crates/core/src/energy.rs crates/core/src/hw_cost.rs crates/core/src/laws.rs crates/core/src/sap.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/libapres_core-112bba76ed028684.rmeta: crates/core/src/lib.rs crates/core/src/energy.rs crates/core/src/hw_cost.rs crates/core/src/laws.rs crates/core/src/sap.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/energy.rs:
+crates/core/src/hw_cost.rs:
+crates/core/src/laws.rs:
+crates/core/src/sap.rs:
+crates/core/src/sim.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/apres_core-76b0f02a00803151.d: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/energy.rs crates/core/src/hw_cost.rs crates/core/src/laws.rs crates/core/src/sap.rs crates/core/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapres_core-76b0f02a00803151.rmeta: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/energy.rs crates/core/src/hw_cost.rs crates/core/src/laws.rs crates/core/src/sap.rs crates/core/src/sim.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/lib.rs:
+crates/core/src/energy.rs:
+crates/core/src/hw_cost.rs:
+crates/core/src/laws.rs:
+crates/core/src/sap.rs:
+crates/core/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

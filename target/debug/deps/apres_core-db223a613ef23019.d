@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/apres_core-db223a613ef23019.d: crates/core/src/lib.rs crates/core/src/energy.rs crates/core/src/hw_cost.rs crates/core/src/laws.rs crates/core/src/sap.rs crates/core/src/sim.rs
+
+/root/repo/target/debug/deps/apres_core-db223a613ef23019: crates/core/src/lib.rs crates/core/src/energy.rs crates/core/src/hw_cost.rs crates/core/src/laws.rs crates/core/src/sap.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/energy.rs:
+crates/core/src/hw_cost.rs:
+crates/core/src/laws.rs:
+crates/core/src/sap.rs:
+crates/core/src/sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bypass_study-1a3101531cd83c1c.d: crates/bench/src/bin/bypass_study.rs
+
+/root/repo/target/debug/deps/bypass_study-1a3101531cd83c1c: crates/bench/src/bin/bypass_study.rs
+
+crates/bench/src/bin/bypass_study.rs:

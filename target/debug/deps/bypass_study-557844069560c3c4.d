@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bypass_study-557844069560c3c4.d: crates/bench/src/bin/bypass_study.rs
+
+/root/repo/target/debug/deps/bypass_study-557844069560c3c4: crates/bench/src/bin/bypass_study.rs
+
+crates/bench/src/bin/bypass_study.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bypass_study-f05f123a248c7a30.d: /root/repo/clippy.toml crates/bench/src/bin/bypass_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbypass_study-f05f123a248c7a30.rmeta: /root/repo/clippy.toml crates/bench/src/bin/bypass_study.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/bypass_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservation-36224262fe12c7fe.d: tests/conservation.rs
+
+/root/repo/target/debug/deps/conservation-36224262fe12c7fe: tests/conservation.rs
+
+tests/conservation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/conservation-37df814f1a3af01f.d: /root/repo/clippy.toml tests/conservation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconservation-37df814f1a3af01f.rmeta: /root/repo/clippy.toml tests/conservation.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/conservation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-6fd23f51321bf8cd.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-6fd23f51321bf8cd: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/determinism-a6361e284df00e31.d: /root/repo/clippy.toml tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-a6361e284df00e31.rmeta: /root/repo/clippy.toml tests/determinism.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

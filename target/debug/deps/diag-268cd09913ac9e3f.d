@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-268cd09913ac9e3f.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-268cd09913ac9e3f: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

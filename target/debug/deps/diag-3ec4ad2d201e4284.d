@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/diag-3ec4ad2d201e4284.d: /root/repo/clippy.toml crates/bench/src/bin/diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag-3ec4ad2d201e4284.rmeta: /root/repo/clippy.toml crates/bench/src/bin/diag.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

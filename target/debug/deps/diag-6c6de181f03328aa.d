@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-6c6de181f03328aa.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-6c6de181f03328aa: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/diag-a9cd27d43827ad64.d: /root/repo/clippy.toml crates/bench/src/bin/diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag-a9cd27d43827ad64.rmeta: /root/repo/clippy.toml crates/bench/src/bin/diag.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhibits-2039838feafc1179.d: crates/bench/benches/exhibits.rs
+
+/root/repo/target/debug/deps/exhibits-2039838feafc1179: crates/bench/benches/exhibits.rs
+
+crates/bench/benches/exhibits.rs:

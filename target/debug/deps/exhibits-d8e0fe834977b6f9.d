@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exhibits-d8e0fe834977b6f9.d: /root/repo/clippy.toml crates/bench/benches/exhibits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexhibits-d8e0fe834977b6f9.rmeta: /root/repo/clippy.toml crates/bench/benches/exhibits.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/exhibits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-b4629992ccf94c63.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-b4629992ccf94c63: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fault_injection-ffed64ee82559800.d: /root/repo/clippy.toml tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-ffed64ee82559800.rmeta: /root/repo/clippy.toml tests/fault_injection.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

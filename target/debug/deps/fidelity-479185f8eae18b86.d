@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fidelity-479185f8eae18b86.d: /root/repo/clippy.toml crates/bench/src/bin/fidelity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfidelity-479185f8eae18b86.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fidelity.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fidelity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

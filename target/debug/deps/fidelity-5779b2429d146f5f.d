@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fidelity-5779b2429d146f5f.d: crates/bench/src/bin/fidelity.rs
+
+/root/repo/target/debug/deps/fidelity-5779b2429d146f5f: crates/bench/src/bin/fidelity.rs
+
+crates/bench/src/bin/fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fidelity-e95ed2763f91de5a.d: crates/bench/src/bin/fidelity.rs
+
+/root/repo/target/debug/deps/fidelity-e95ed2763f91de5a: crates/bench/src/bin/fidelity.rs
+
+crates/bench/src/bin/fidelity.rs:

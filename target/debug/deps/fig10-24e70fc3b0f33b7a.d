@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig10-24e70fc3b0f33b7a.d: /root/repo/clippy.toml crates/bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-24e70fc3b0f33b7a.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-7369a046d2394767.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-7369a046d2394767: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig10-82b0015c946e4698.d: /root/repo/clippy.toml crates/bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-82b0015c946e4698.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

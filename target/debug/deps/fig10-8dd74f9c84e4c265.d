@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-8dd74f9c84e4c265.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-8dd74f9c84e4c265: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-747027399ec2c2f3.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-747027399ec2c2f3: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

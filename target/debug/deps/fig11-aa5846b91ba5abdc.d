@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-aa5846b91ba5abdc.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-aa5846b91ba5abdc: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig11-ba134934d98e6209.d: /root/repo/clippy.toml crates/bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-ba134934d98e6209.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

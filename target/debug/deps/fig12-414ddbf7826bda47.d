@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-414ddbf7826bda47.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-414ddbf7826bda47: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

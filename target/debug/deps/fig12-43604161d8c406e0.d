@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig12-43604161d8c406e0.d: /root/repo/clippy.toml crates/bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-43604161d8c406e0.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-57b086eb7951a374.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-57b086eb7951a374: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

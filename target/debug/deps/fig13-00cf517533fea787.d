@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-00cf517533fea787.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-00cf517533fea787: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-0b35117e55ae0f38.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-0b35117e55ae0f38: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

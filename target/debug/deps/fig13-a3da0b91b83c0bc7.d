@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig13-a3da0b91b83c0bc7.d: /root/repo/clippy.toml crates/bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13-a3da0b91b83c0bc7.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig14-17df0217ae77d2a1.d: /root/repo/clippy.toml crates/bench/src/bin/fig14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14-17df0217ae77d2a1.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig14.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-4b07816c4245bce0.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-4b07816c4245bce0: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-a58c423d611e7d69.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-a58c423d611e7d69: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

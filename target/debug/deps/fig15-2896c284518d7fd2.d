@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig15-2896c284518d7fd2.d: /root/repo/clippy.toml crates/bench/src/bin/fig15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15-2896c284518d7fd2.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig15.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-2a7a2df62bb2c0ff.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-2a7a2df62bb2c0ff: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-373899a1064bec25.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-373899a1064bec25: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-65f300c567837e1c.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-65f300c567837e1c: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

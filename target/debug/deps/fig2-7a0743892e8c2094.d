@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-7a0743892e8c2094.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-7a0743892e8c2094: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

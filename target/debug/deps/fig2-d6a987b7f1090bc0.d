@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig2-d6a987b7f1090bc0.d: /root/repo/clippy.toml crates/bench/src/bin/fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2-d6a987b7f1090bc0.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig2.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig3-2e9136e31244f4a4.d: /root/repo/clippy.toml crates/bench/src/bin/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-2e9136e31244f4a4.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig3.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

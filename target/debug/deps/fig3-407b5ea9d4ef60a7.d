@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-407b5ea9d4ef60a7.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-407b5ea9d4ef60a7: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-f8ddc0d9fd666b4e.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-f8ddc0d9fd666b4e: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-5424981a6c950e58.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-5424981a6c950e58: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-7922b70a1a827ab2.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-7922b70a1a827ab2: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig4-efa97c180eafe6ad.d: /root/repo/clippy.toml crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-efa97c180eafe6ad.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

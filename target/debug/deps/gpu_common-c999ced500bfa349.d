@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gpu_common-c999ced500bfa349.d: crates/common/src/lib.rs crates/common/src/check.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/json.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+/root/repo/target/debug/deps/gpu_common-c999ced500bfa349: crates/common/src/lib.rs crates/common/src/check.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/json.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+crates/common/src/lib.rs:
+crates/common/src/check.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/fault.rs:
+crates/common/src/ids.rs:
+crates/common/src/json.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:

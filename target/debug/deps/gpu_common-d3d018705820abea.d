@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gpu_common-d3d018705820abea.d: /root/repo/clippy.toml crates/common/src/lib.rs crates/common/src/check.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/json.rs crates/common/src/rng.rs crates/common/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_common-d3d018705820abea.rmeta: /root/repo/clippy.toml crates/common/src/lib.rs crates/common/src/check.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/json.rs crates/common/src/rng.rs crates/common/src/stats.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/common/src/lib.rs:
+crates/common/src/check.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/fault.rs:
+crates/common/src/ids.rs:
+crates/common/src/json.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

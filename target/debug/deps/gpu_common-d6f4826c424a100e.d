@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gpu_common-d6f4826c424a100e.d: crates/common/src/lib.rs crates/common/src/check.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/json.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+/root/repo/target/debug/deps/libgpu_common-d6f4826c424a100e.rlib: crates/common/src/lib.rs crates/common/src/check.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/json.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+/root/repo/target/debug/deps/libgpu_common-d6f4826c424a100e.rmeta: crates/common/src/lib.rs crates/common/src/check.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/json.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+crates/common/src/lib.rs:
+crates/common/src/check.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/fault.rs:
+crates/common/src/ids.rs:
+crates/common/src/json.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:

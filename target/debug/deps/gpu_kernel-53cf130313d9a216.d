@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gpu_kernel-53cf130313d9a216.d: crates/kernel/src/lib.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs crates/kernel/src/pattern.rs crates/kernel/src/simt.rs crates/kernel/src/warp.rs
+
+/root/repo/target/debug/deps/libgpu_kernel-53cf130313d9a216.rlib: crates/kernel/src/lib.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs crates/kernel/src/pattern.rs crates/kernel/src/simt.rs crates/kernel/src/warp.rs
+
+/root/repo/target/debug/deps/libgpu_kernel-53cf130313d9a216.rmeta: crates/kernel/src/lib.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs crates/kernel/src/pattern.rs crates/kernel/src/simt.rs crates/kernel/src/warp.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/instr.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/pattern.rs:
+crates/kernel/src/simt.rs:
+crates/kernel/src/warp.rs:

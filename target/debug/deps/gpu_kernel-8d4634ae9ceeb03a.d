@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gpu_kernel-8d4634ae9ceeb03a.d: /root/repo/clippy.toml crates/kernel/src/lib.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs crates/kernel/src/pattern.rs crates/kernel/src/simt.rs crates/kernel/src/warp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_kernel-8d4634ae9ceeb03a.rmeta: /root/repo/clippy.toml crates/kernel/src/lib.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs crates/kernel/src/pattern.rs crates/kernel/src/simt.rs crates/kernel/src/warp.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/kernel/src/lib.rs:
+crates/kernel/src/instr.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/pattern.rs:
+crates/kernel/src/simt.rs:
+crates/kernel/src/warp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

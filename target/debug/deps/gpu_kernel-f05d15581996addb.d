@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gpu_kernel-f05d15581996addb.d: /root/repo/clippy.toml crates/kernel/src/lib.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs crates/kernel/src/pattern.rs crates/kernel/src/simt.rs crates/kernel/src/warp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_kernel-f05d15581996addb.rmeta: /root/repo/clippy.toml crates/kernel/src/lib.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs crates/kernel/src/pattern.rs crates/kernel/src/simt.rs crates/kernel/src/warp.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/kernel/src/lib.rs:
+crates/kernel/src/instr.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/pattern.rs:
+crates/kernel/src/simt.rs:
+crates/kernel/src/warp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

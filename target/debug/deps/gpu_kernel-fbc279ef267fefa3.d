@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gpu_kernel-fbc279ef267fefa3.d: crates/kernel/src/lib.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs crates/kernel/src/pattern.rs crates/kernel/src/simt.rs crates/kernel/src/warp.rs
+
+/root/repo/target/debug/deps/gpu_kernel-fbc279ef267fefa3: crates/kernel/src/lib.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs crates/kernel/src/pattern.rs crates/kernel/src/simt.rs crates/kernel/src/warp.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/instr.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/pattern.rs:
+crates/kernel/src/simt.rs:
+crates/kernel/src/warp.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gpu_mem-198292ae20d2abd3.d: crates/mem/src/lib.rs crates/mem/src/bypass.rs crates/mem/src/cache.rs crates/mem/src/classify.rs crates/mem/src/coalesce.rs crates/mem/src/dram.rs crates/mem/src/l1.rs crates/mem/src/l2.rs crates/mem/src/memsys.rs crates/mem/src/mshr.rs crates/mem/src/noc.rs crates/mem/src/prefetch_meta.rs crates/mem/src/request.rs
+
+/root/repo/target/debug/deps/gpu_mem-198292ae20d2abd3: crates/mem/src/lib.rs crates/mem/src/bypass.rs crates/mem/src/cache.rs crates/mem/src/classify.rs crates/mem/src/coalesce.rs crates/mem/src/dram.rs crates/mem/src/l1.rs crates/mem/src/l2.rs crates/mem/src/memsys.rs crates/mem/src/mshr.rs crates/mem/src/noc.rs crates/mem/src/prefetch_meta.rs crates/mem/src/request.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bypass.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/classify.rs:
+crates/mem/src/coalesce.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/l1.rs:
+crates/mem/src/l2.rs:
+crates/mem/src/memsys.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/noc.rs:
+crates/mem/src/prefetch_meta.rs:
+crates/mem/src/request.rs:

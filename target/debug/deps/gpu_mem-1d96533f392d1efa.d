@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/gpu_mem-1d96533f392d1efa.d: /root/repo/clippy.toml crates/mem/src/lib.rs crates/mem/src/bypass.rs crates/mem/src/cache.rs crates/mem/src/classify.rs crates/mem/src/coalesce.rs crates/mem/src/dram.rs crates/mem/src/l1.rs crates/mem/src/l2.rs crates/mem/src/memsys.rs crates/mem/src/mshr.rs crates/mem/src/noc.rs crates/mem/src/prefetch_meta.rs crates/mem/src/request.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_mem-1d96533f392d1efa.rmeta: /root/repo/clippy.toml crates/mem/src/lib.rs crates/mem/src/bypass.rs crates/mem/src/cache.rs crates/mem/src/classify.rs crates/mem/src/coalesce.rs crates/mem/src/dram.rs crates/mem/src/l1.rs crates/mem/src/l2.rs crates/mem/src/memsys.rs crates/mem/src/mshr.rs crates/mem/src/noc.rs crates/mem/src/prefetch_meta.rs crates/mem/src/request.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/mem/src/lib.rs:
+crates/mem/src/bypass.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/classify.rs:
+crates/mem/src/coalesce.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/l1.rs:
+crates/mem/src/l2.rs:
+crates/mem/src/memsys.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/noc.rs:
+crates/mem/src/prefetch_meta.rs:
+crates/mem/src/request.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gpu_prefetch-59f416f744896ffd.d: /root/repo/clippy.toml crates/prefetch/src/lib.rs crates/prefetch/src/sld.rs crates/prefetch/src/str_prefetch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_prefetch-59f416f744896ffd.rmeta: /root/repo/clippy.toml crates/prefetch/src/lib.rs crates/prefetch/src/sld.rs crates/prefetch/src/str_prefetch.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/prefetch/src/lib.rs:
+crates/prefetch/src/sld.rs:
+crates/prefetch/src/str_prefetch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_prefetch-d678fc17301c4693.d: crates/prefetch/src/lib.rs crates/prefetch/src/sld.rs crates/prefetch/src/str_prefetch.rs
+
+/root/repo/target/debug/deps/libgpu_prefetch-d678fc17301c4693.rlib: crates/prefetch/src/lib.rs crates/prefetch/src/sld.rs crates/prefetch/src/str_prefetch.rs
+
+/root/repo/target/debug/deps/libgpu_prefetch-d678fc17301c4693.rmeta: crates/prefetch/src/lib.rs crates/prefetch/src/sld.rs crates/prefetch/src/str_prefetch.rs
+
+crates/prefetch/src/lib.rs:
+crates/prefetch/src/sld.rs:
+crates/prefetch/src/str_prefetch.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gpu_prefetch-e7db342e89cb35e5.d: crates/prefetch/src/lib.rs crates/prefetch/src/sld.rs crates/prefetch/src/str_prefetch.rs
+
+/root/repo/target/debug/deps/gpu_prefetch-e7db342e89cb35e5: crates/prefetch/src/lib.rs crates/prefetch/src/sld.rs crates/prefetch/src/str_prefetch.rs
+
+crates/prefetch/src/lib.rs:
+crates/prefetch/src/sld.rs:
+crates/prefetch/src/str_prefetch.rs:

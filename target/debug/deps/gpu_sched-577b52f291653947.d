@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gpu_sched-577b52f291653947.d: /root/repo/clippy.toml crates/sched/src/lib.rs crates/sched/src/ccws.rs crates/sched/src/gto.rs crates/sched/src/lrr.rs crates/sched/src/mascar.rs crates/sched/src/pa.rs crates/sched/src/two_level.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_sched-577b52f291653947.rmeta: /root/repo/clippy.toml crates/sched/src/lib.rs crates/sched/src/ccws.rs crates/sched/src/gto.rs crates/sched/src/lrr.rs crates/sched/src/mascar.rs crates/sched/src/pa.rs crates/sched/src/two_level.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/sched/src/lib.rs:
+crates/sched/src/ccws.rs:
+crates/sched/src/gto.rs:
+crates/sched/src/lrr.rs:
+crates/sched/src/mascar.rs:
+crates/sched/src/pa.rs:
+crates/sched/src/two_level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

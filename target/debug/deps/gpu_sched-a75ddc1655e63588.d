@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gpu_sched-a75ddc1655e63588.d: crates/sched/src/lib.rs crates/sched/src/ccws.rs crates/sched/src/gto.rs crates/sched/src/lrr.rs crates/sched/src/mascar.rs crates/sched/src/pa.rs crates/sched/src/two_level.rs
+
+/root/repo/target/debug/deps/libgpu_sched-a75ddc1655e63588.rlib: crates/sched/src/lib.rs crates/sched/src/ccws.rs crates/sched/src/gto.rs crates/sched/src/lrr.rs crates/sched/src/mascar.rs crates/sched/src/pa.rs crates/sched/src/two_level.rs
+
+/root/repo/target/debug/deps/libgpu_sched-a75ddc1655e63588.rmeta: crates/sched/src/lib.rs crates/sched/src/ccws.rs crates/sched/src/gto.rs crates/sched/src/lrr.rs crates/sched/src/mascar.rs crates/sched/src/pa.rs crates/sched/src/two_level.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/ccws.rs:
+crates/sched/src/gto.rs:
+crates/sched/src/lrr.rs:
+crates/sched/src/mascar.rs:
+crates/sched/src/pa.rs:
+crates/sched/src/two_level.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gpu_sched-e7344a2de4205c07.d: crates/sched/src/lib.rs crates/sched/src/ccws.rs crates/sched/src/gto.rs crates/sched/src/lrr.rs crates/sched/src/mascar.rs crates/sched/src/pa.rs crates/sched/src/two_level.rs
+
+/root/repo/target/debug/deps/gpu_sched-e7344a2de4205c07: crates/sched/src/lib.rs crates/sched/src/ccws.rs crates/sched/src/gto.rs crates/sched/src/lrr.rs crates/sched/src/mascar.rs crates/sched/src/pa.rs crates/sched/src/two_level.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/ccws.rs:
+crates/sched/src/gto.rs:
+crates/sched/src/lrr.rs:
+crates/sched/src/mascar.rs:
+crates/sched/src/pa.rs:
+crates/sched/src/two_level.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gpu_sm-972b3c2626262976.d: /root/repo/clippy.toml crates/sm/src/lib.rs crates/sm/src/gpu.rs crates/sm/src/lsu.rs crates/sm/src/sm.rs crates/sm/src/trace.rs crates/sm/src/traits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_sm-972b3c2626262976.rmeta: /root/repo/clippy.toml crates/sm/src/lib.rs crates/sm/src/gpu.rs crates/sm/src/lsu.rs crates/sm/src/sm.rs crates/sm/src/trace.rs crates/sm/src/traits.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/sm/src/lib.rs:
+crates/sm/src/gpu.rs:
+crates/sm/src/lsu.rs:
+crates/sm/src/sm.rs:
+crates/sm/src/trace.rs:
+crates/sm/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gpu_sm-989ccea511447b83.d: crates/sm/src/lib.rs crates/sm/src/gpu.rs crates/sm/src/lsu.rs crates/sm/src/sm.rs crates/sm/src/trace.rs crates/sm/src/traits.rs
+
+/root/repo/target/debug/deps/libgpu_sm-989ccea511447b83.rlib: crates/sm/src/lib.rs crates/sm/src/gpu.rs crates/sm/src/lsu.rs crates/sm/src/sm.rs crates/sm/src/trace.rs crates/sm/src/traits.rs
+
+/root/repo/target/debug/deps/libgpu_sm-989ccea511447b83.rmeta: crates/sm/src/lib.rs crates/sm/src/gpu.rs crates/sm/src/lsu.rs crates/sm/src/sm.rs crates/sm/src/trace.rs crates/sm/src/traits.rs
+
+crates/sm/src/lib.rs:
+crates/sm/src/gpu.rs:
+crates/sm/src/lsu.rs:
+crates/sm/src/sm.rs:
+crates/sm/src/trace.rs:
+crates/sm/src/traits.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gpu_sm-d8f51fe216a54872.d: crates/sm/src/lib.rs crates/sm/src/gpu.rs crates/sm/src/lsu.rs crates/sm/src/sm.rs crates/sm/src/trace.rs crates/sm/src/traits.rs
+
+/root/repo/target/debug/deps/gpu_sm-d8f51fe216a54872: crates/sm/src/lib.rs crates/sm/src/gpu.rs crates/sm/src/lsu.rs crates/sm/src/sm.rs crates/sm/src/trace.rs crates/sm/src/traits.rs
+
+crates/sm/src/lib.rs:
+crates/sm/src/gpu.rs:
+crates/sm/src/lsu.rs:
+crates/sm/src/sm.rs:
+crates/sm/src/trace.rs:
+crates/sm/src/traits.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gpu_workloads-0c232570e3d5ea7b.d: /root/repo/clippy.toml crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/characterize.rs crates/workloads/src/fidelity.rs crates/workloads/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_workloads-0c232570e3d5ea7b.rmeta: /root/repo/clippy.toml crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/characterize.rs crates/workloads/src/fidelity.rs crates/workloads/src/spec.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmarks.rs:
+crates/workloads/src/characterize.rs:
+crates/workloads/src/fidelity.rs:
+crates/workloads/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

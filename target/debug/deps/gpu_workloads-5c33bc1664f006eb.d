@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_workloads-5c33bc1664f006eb.d: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/characterize.rs crates/workloads/src/fidelity.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/gpu_workloads-5c33bc1664f006eb: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/characterize.rs crates/workloads/src/fidelity.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmarks.rs:
+crates/workloads/src/characterize.rs:
+crates/workloads/src/fidelity.rs:
+crates/workloads/src/spec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gpu_workloads-a9d5998d5949d566.d: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/characterize.rs crates/workloads/src/fidelity.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libgpu_workloads-a9d5998d5949d566.rlib: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/characterize.rs crates/workloads/src/fidelity.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libgpu_workloads-a9d5998d5949d566.rmeta: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/characterize.rs crates/workloads/src/fidelity.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmarks.rs:
+crates/workloads/src/characterize.rs:
+crates/workloads/src/fidelity.rs:
+crates/workloads/src/spec.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/panic_free_paths-50776504d421c159.d: tests/panic_free_paths.rs
+
+/root/repo/target/debug/deps/panic_free_paths-50776504d421c159: tests/panic_free_paths.rs
+
+tests/panic_free_paths.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

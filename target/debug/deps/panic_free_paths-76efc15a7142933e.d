@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/panic_free_paths-76efc15a7142933e.d: /root/repo/clippy.toml tests/panic_free_paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpanic_free_paths-76efc15a7142933e.rmeta: /root/repo/clippy.toml tests/panic_free_paths.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/panic_free_paths.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

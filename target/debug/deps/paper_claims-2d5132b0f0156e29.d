@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-2d5132b0f0156e29.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-2d5132b0f0156e29: tests/paper_claims.rs
+
+tests/paper_claims.rs:

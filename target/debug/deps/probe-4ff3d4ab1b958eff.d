@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-4ff3d4ab1b958eff.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-4ff3d4ab1b958eff: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

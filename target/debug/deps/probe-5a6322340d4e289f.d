@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/probe-5a6322340d4e289f.d: /root/repo/clippy.toml crates/bench/src/bin/probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe-5a6322340d4e289f.rmeta: /root/repo/clippy.toml crates/bench/src/bin/probe.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

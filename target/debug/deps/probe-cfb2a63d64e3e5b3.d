@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-cfb2a63d64e3e5b3.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-cfb2a63d64e3e5b3: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

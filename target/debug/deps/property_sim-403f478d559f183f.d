@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/property_sim-403f478d559f183f.d: /root/repo/clippy.toml tests/property_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_sim-403f478d559f183f.rmeta: /root/repo/clippy.toml tests/property_sim.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/property_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

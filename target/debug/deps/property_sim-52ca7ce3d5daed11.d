@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_sim-52ca7ce3d5daed11.d: tests/property_sim.rs
+
+/root/repo/target/debug/deps/property_sim-52ca7ce3d5daed11: tests/property_sim.rs
+
+tests/property_sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simulator-2c0729d7d6d9fa57.d: /root/repo/clippy.toml crates/bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-2c0729d7d6d9fa57.rmeta: /root/repo/clippy.toml crates/bench/benches/simulator.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

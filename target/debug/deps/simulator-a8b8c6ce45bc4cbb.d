@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-a8b8c6ce45bc4cbb.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-a8b8c6ce45bc4cbb: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sweep-70faecca5878ca07.d: /root/repo/clippy.toml crates/bench/src/bin/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep-70faecca5878ca07.rmeta: /root/repo/clippy.toml crates/bench/src/bin/sweep.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-89dc4b4e229b2d19.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-89dc4b4e229b2d19: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

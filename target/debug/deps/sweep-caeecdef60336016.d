@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-caeecdef60336016.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-caeecdef60336016: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

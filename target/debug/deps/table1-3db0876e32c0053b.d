@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3db0876e32c0053b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3db0876e32c0053b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

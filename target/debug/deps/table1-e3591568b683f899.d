@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e3591568b683f899.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e3591568b683f899: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-01a5c1a3b1e96209.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-01a5c1a3b1e96209: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-37dd95cf77222c11.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-37dd95cf77222c11: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

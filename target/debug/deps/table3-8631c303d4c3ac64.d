@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-8631c303d4c3ac64.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-8631c303d4c3ac64: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

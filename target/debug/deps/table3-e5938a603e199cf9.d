@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-e5938a603e199cf9.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-e5938a603e199cf9: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/_verify_probe-44e8176957eeb748.d: /root/repo/clippy.toml examples/_verify_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/lib_verify_probe-44e8176957eeb748.rmeta: /root/repo/clippy.toml examples/_verify_probe.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/_verify_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/ablation-6935860ebff491b9.d: /root/repo/clippy.toml examples/ablation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libablation-6935860ebff491b9.rmeta: /root/repo/clippy.toml examples/ablation.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

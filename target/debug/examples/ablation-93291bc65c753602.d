@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablation-93291bc65c753602.d: examples/ablation.rs
+
+/root/repo/target/debug/examples/ablation-93291bc65c753602: examples/ablation.rs
+
+examples/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/characterize_loads-4efd8b4adc51f3ec.d: examples/characterize_loads.rs
+
+/root/repo/target/debug/examples/characterize_loads-4efd8b4adc51f3ec: examples/characterize_loads.rs
+
+examples/characterize_loads.rs:

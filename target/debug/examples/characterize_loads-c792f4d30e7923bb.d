@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/characterize_loads-c792f4d30e7923bb.d: /root/repo/clippy.toml examples/characterize_loads.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcharacterize_loads-c792f4d30e7923bb.rmeta: /root/repo/clippy.toml examples/characterize_loads.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/characterize_loads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

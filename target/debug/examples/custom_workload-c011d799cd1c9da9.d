@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/custom_workload-c011d799cd1c9da9.d: /root/repo/clippy.toml examples/custom_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_workload-c011d799cd1c9da9.rmeta: /root/repo/clippy.toml examples/custom_workload.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/custom_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

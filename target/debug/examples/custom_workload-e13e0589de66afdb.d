@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-e13e0589de66afdb.d: examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-e13e0589de66afdb: examples/custom_workload.rs
+
+examples/custom_workload.rs:

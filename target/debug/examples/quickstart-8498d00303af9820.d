@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8498d00303af9820.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8498d00303af9820: examples/quickstart.rs
+
+examples/quickstart.rs:

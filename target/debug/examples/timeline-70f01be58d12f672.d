@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timeline-70f01be58d12f672.d: examples/timeline.rs
+
+/root/repo/target/debug/examples/timeline-70f01be58d12f672: examples/timeline.rs
+
+examples/timeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/timeline-8a9bc2bb0090dc10.d: /root/repo/clippy.toml examples/timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtimeline-8a9bc2bb0090dc10.rmeta: /root/repo/clippy.toml examples/timeline.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_window-09a65ebc385fe97c.d: examples/trace_window.rs
+
+/root/repo/target/debug/examples/trace_window-09a65ebc385fe97c: examples/trace_window.rs
+
+examples/trace_window.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/trace_window-59af29df4c89d47e.d: /root/repo/clippy.toml examples/trace_window.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_window-59af29df4c89d47e.rmeta: /root/repo/clippy.toml examples/trace_window.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/trace_window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

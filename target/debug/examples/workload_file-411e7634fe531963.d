@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workload_file-411e7634fe531963.d: examples/workload_file.rs
+
+/root/repo/target/debug/examples/workload_file-411e7634fe531963: examples/workload_file.rs
+
+examples/workload_file.rs:

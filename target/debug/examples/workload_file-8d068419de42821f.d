@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/workload_file-8d068419de42821f.d: /root/repo/clippy.toml examples/workload_file.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworkload_file-8d068419de42821f.rmeta: /root/repo/clippy.toml examples/workload_file.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/workload_file.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_apres-11debcf5f947707e.d: crates/bench/src/bin/ablation_apres.rs
+
+/root/repo/target/release/deps/ablation_apres-11debcf5f947707e: crates/bench/src/bin/ablation_apres.rs
+
+crates/bench/src/bin/ablation_apres.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_substrate-94d72a32dec54e6a.d: crates/bench/src/bin/ablation_substrate.rs
+
+/root/repo/target/release/deps/ablation_substrate-94d72a32dec54e6a: crates/bench/src/bin/ablation_substrate.rs
+
+crates/bench/src/bin/ablation_substrate.rs:

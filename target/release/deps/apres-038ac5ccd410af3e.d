@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/apres-038ac5ccd410af3e.d: src/lib.rs
+
+/root/repo/target/release/deps/libapres-038ac5ccd410af3e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libapres-038ac5ccd410af3e.rmeta: src/lib.rs
+
+src/lib.rs:

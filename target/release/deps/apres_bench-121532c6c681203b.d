@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/apres_bench-121532c6c681203b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libapres_bench-121532c6c681203b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libapres_bench-121532c6c681203b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

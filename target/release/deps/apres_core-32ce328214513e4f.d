@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/apres_core-32ce328214513e4f.d: crates/core/src/lib.rs crates/core/src/energy.rs crates/core/src/hw_cost.rs crates/core/src/laws.rs crates/core/src/sap.rs crates/core/src/sim.rs
+
+/root/repo/target/release/deps/libapres_core-32ce328214513e4f.rlib: crates/core/src/lib.rs crates/core/src/energy.rs crates/core/src/hw_cost.rs crates/core/src/laws.rs crates/core/src/sap.rs crates/core/src/sim.rs
+
+/root/repo/target/release/deps/libapres_core-32ce328214513e4f.rmeta: crates/core/src/lib.rs crates/core/src/energy.rs crates/core/src/hw_cost.rs crates/core/src/laws.rs crates/core/src/sap.rs crates/core/src/sim.rs
+
+crates/core/src/lib.rs:
+crates/core/src/energy.rs:
+crates/core/src/hw_cost.rs:
+crates/core/src/laws.rs:
+crates/core/src/sap.rs:
+crates/core/src/sim.rs:

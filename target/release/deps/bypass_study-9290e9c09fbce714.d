@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bypass_study-9290e9c09fbce714.d: crates/bench/src/bin/bypass_study.rs
+
+/root/repo/target/release/deps/bypass_study-9290e9c09fbce714: crates/bench/src/bin/bypass_study.rs
+
+crates/bench/src/bin/bypass_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag-15f7442712186a91.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/release/deps/diag-15f7442712186a91: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fidelity-6382302e6e436ca0.d: crates/bench/src/bin/fidelity.rs
+
+/root/repo/target/release/deps/fidelity-6382302e6e436ca0: crates/bench/src/bin/fidelity.rs
+
+crates/bench/src/bin/fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-63fd736bc298df06.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-63fd736bc298df06: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-6cd35e2982f03a0e.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-6cd35e2982f03a0e: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-7c6b4996369fc3b0.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-7c6b4996369fc3b0: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

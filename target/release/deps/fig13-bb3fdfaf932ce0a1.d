@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-bb3fdfaf932ce0a1.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-bb3fdfaf932ce0a1: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-bb4b733fa9a5f8ce.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-bb4b733fa9a5f8ce: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

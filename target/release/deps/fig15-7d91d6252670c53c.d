@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-7d91d6252670c53c.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-7d91d6252670c53c: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

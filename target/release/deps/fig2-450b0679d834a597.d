@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-450b0679d834a597.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-450b0679d834a597: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-1b219fa671ce803d.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-1b219fa671ce803d: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

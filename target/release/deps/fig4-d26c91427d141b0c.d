@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-d26c91427d141b0c.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-d26c91427d141b0c: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/gpu_common-a0cd476b887eee83.d: crates/common/src/lib.rs crates/common/src/check.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/json.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+/root/repo/target/release/deps/libgpu_common-a0cd476b887eee83.rlib: crates/common/src/lib.rs crates/common/src/check.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/json.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+/root/repo/target/release/deps/libgpu_common-a0cd476b887eee83.rmeta: crates/common/src/lib.rs crates/common/src/check.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/json.rs crates/common/src/rng.rs crates/common/src/stats.rs
+
+crates/common/src/lib.rs:
+crates/common/src/check.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/fault.rs:
+crates/common/src/ids.rs:
+crates/common/src/json.rs:
+crates/common/src/rng.rs:
+crates/common/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gpu_kernel-2e80fecbb6c5a02f.d: crates/kernel/src/lib.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs crates/kernel/src/pattern.rs crates/kernel/src/simt.rs crates/kernel/src/warp.rs
+
+/root/repo/target/release/deps/libgpu_kernel-2e80fecbb6c5a02f.rlib: crates/kernel/src/lib.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs crates/kernel/src/pattern.rs crates/kernel/src/simt.rs crates/kernel/src/warp.rs
+
+/root/repo/target/release/deps/libgpu_kernel-2e80fecbb6c5a02f.rmeta: crates/kernel/src/lib.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs crates/kernel/src/pattern.rs crates/kernel/src/simt.rs crates/kernel/src/warp.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/instr.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/pattern.rs:
+crates/kernel/src/simt.rs:
+crates/kernel/src/warp.rs:

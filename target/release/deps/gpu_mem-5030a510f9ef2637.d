@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/gpu_mem-5030a510f9ef2637.d: crates/mem/src/lib.rs crates/mem/src/bypass.rs crates/mem/src/cache.rs crates/mem/src/classify.rs crates/mem/src/coalesce.rs crates/mem/src/dram.rs crates/mem/src/l1.rs crates/mem/src/l2.rs crates/mem/src/memsys.rs crates/mem/src/mshr.rs crates/mem/src/noc.rs crates/mem/src/prefetch_meta.rs crates/mem/src/request.rs
+
+/root/repo/target/release/deps/libgpu_mem-5030a510f9ef2637.rlib: crates/mem/src/lib.rs crates/mem/src/bypass.rs crates/mem/src/cache.rs crates/mem/src/classify.rs crates/mem/src/coalesce.rs crates/mem/src/dram.rs crates/mem/src/l1.rs crates/mem/src/l2.rs crates/mem/src/memsys.rs crates/mem/src/mshr.rs crates/mem/src/noc.rs crates/mem/src/prefetch_meta.rs crates/mem/src/request.rs
+
+/root/repo/target/release/deps/libgpu_mem-5030a510f9ef2637.rmeta: crates/mem/src/lib.rs crates/mem/src/bypass.rs crates/mem/src/cache.rs crates/mem/src/classify.rs crates/mem/src/coalesce.rs crates/mem/src/dram.rs crates/mem/src/l1.rs crates/mem/src/l2.rs crates/mem/src/memsys.rs crates/mem/src/mshr.rs crates/mem/src/noc.rs crates/mem/src/prefetch_meta.rs crates/mem/src/request.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bypass.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/classify.rs:
+crates/mem/src/coalesce.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/l1.rs:
+crates/mem/src/l2.rs:
+crates/mem/src/memsys.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/noc.rs:
+crates/mem/src/prefetch_meta.rs:
+crates/mem/src/request.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gpu_prefetch-4f3cc0cfd1149ee4.d: crates/prefetch/src/lib.rs crates/prefetch/src/sld.rs crates/prefetch/src/str_prefetch.rs
+
+/root/repo/target/release/deps/libgpu_prefetch-4f3cc0cfd1149ee4.rlib: crates/prefetch/src/lib.rs crates/prefetch/src/sld.rs crates/prefetch/src/str_prefetch.rs
+
+/root/repo/target/release/deps/libgpu_prefetch-4f3cc0cfd1149ee4.rmeta: crates/prefetch/src/lib.rs crates/prefetch/src/sld.rs crates/prefetch/src/str_prefetch.rs
+
+crates/prefetch/src/lib.rs:
+crates/prefetch/src/sld.rs:
+crates/prefetch/src/str_prefetch.rs:

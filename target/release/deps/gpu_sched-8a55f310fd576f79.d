@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gpu_sched-8a55f310fd576f79.d: crates/sched/src/lib.rs crates/sched/src/ccws.rs crates/sched/src/gto.rs crates/sched/src/lrr.rs crates/sched/src/mascar.rs crates/sched/src/pa.rs crates/sched/src/two_level.rs
+
+/root/repo/target/release/deps/libgpu_sched-8a55f310fd576f79.rlib: crates/sched/src/lib.rs crates/sched/src/ccws.rs crates/sched/src/gto.rs crates/sched/src/lrr.rs crates/sched/src/mascar.rs crates/sched/src/pa.rs crates/sched/src/two_level.rs
+
+/root/repo/target/release/deps/libgpu_sched-8a55f310fd576f79.rmeta: crates/sched/src/lib.rs crates/sched/src/ccws.rs crates/sched/src/gto.rs crates/sched/src/lrr.rs crates/sched/src/mascar.rs crates/sched/src/pa.rs crates/sched/src/two_level.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/ccws.rs:
+crates/sched/src/gto.rs:
+crates/sched/src/lrr.rs:
+crates/sched/src/mascar.rs:
+crates/sched/src/pa.rs:
+crates/sched/src/two_level.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gpu_sm-582029a5e6fbd733.d: crates/sm/src/lib.rs crates/sm/src/gpu.rs crates/sm/src/lsu.rs crates/sm/src/sm.rs crates/sm/src/trace.rs crates/sm/src/traits.rs
+
+/root/repo/target/release/deps/libgpu_sm-582029a5e6fbd733.rlib: crates/sm/src/lib.rs crates/sm/src/gpu.rs crates/sm/src/lsu.rs crates/sm/src/sm.rs crates/sm/src/trace.rs crates/sm/src/traits.rs
+
+/root/repo/target/release/deps/libgpu_sm-582029a5e6fbd733.rmeta: crates/sm/src/lib.rs crates/sm/src/gpu.rs crates/sm/src/lsu.rs crates/sm/src/sm.rs crates/sm/src/trace.rs crates/sm/src/traits.rs
+
+crates/sm/src/lib.rs:
+crates/sm/src/gpu.rs:
+crates/sm/src/lsu.rs:
+crates/sm/src/sm.rs:
+crates/sm/src/trace.rs:
+crates/sm/src/traits.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gpu_workloads-abfa03a1a694dbdb.d: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/characterize.rs crates/workloads/src/fidelity.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libgpu_workloads-abfa03a1a694dbdb.rlib: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/characterize.rs crates/workloads/src/fidelity.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libgpu_workloads-abfa03a1a694dbdb.rmeta: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/characterize.rs crates/workloads/src/fidelity.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmarks.rs:
+crates/workloads/src/characterize.rs:
+crates/workloads/src/fidelity.rs:
+crates/workloads/src/spec.rs:

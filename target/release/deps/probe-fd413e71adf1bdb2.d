@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-fd413e71adf1bdb2.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-fd413e71adf1bdb2: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

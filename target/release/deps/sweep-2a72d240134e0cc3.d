@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-2a72d240134e0cc3.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-2a72d240134e0cc3: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

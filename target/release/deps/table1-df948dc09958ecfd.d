@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-df948dc09958ecfd.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-df948dc09958ecfd: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-b8ae97c1b6b3aadb.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-b8ae97c1b6b3aadb: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

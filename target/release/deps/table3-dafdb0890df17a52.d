@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-dafdb0890df17a52.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-dafdb0890df17a52: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe-402a4c7a6c2d7b0c.d: examples/_verify_probe.rs
+
+/root/repo/target/release/examples/_verify_probe-402a4c7a6c2d7b0c: examples/_verify_probe.rs
+
+examples/_verify_probe.rs:

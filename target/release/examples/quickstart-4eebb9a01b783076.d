@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-4eebb9a01b783076.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-4eebb9a01b783076: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,7 +1,9 @@
 //! Integration tests for accounting invariants that must hold on any full
 //! simulation, regardless of policy or workload.
 
-use apres::{Benchmark, GpuConfig, PrefetcherChoice, RunResult, SchedulerChoice, Simulation};
+// Integration tests may use the ergonomic panicking forms freely.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use apres::{Benchmark, GpuConfig, PrefetcherChoice, RunResult, SchedulerChoice, Simulation, Termination};
 
 fn run(b: Benchmark, s: SchedulerChoice, p: PrefetcherChoice) -> RunResult {
     let mut cfg = GpuConfig::paper_baseline();
@@ -12,6 +14,7 @@ fn run(b: Benchmark, s: SchedulerChoice, p: PrefetcherChoice) -> RunResult {
         .prefetcher(p)
         .max_cycles(5_000_000)
         .run()
+        .expect("conservation workloads run to completion")
 }
 
 fn check_invariants(r: &RunResult, tag: &str) {
@@ -109,7 +112,8 @@ fn l1_bypass_composes_with_apres() {
         .config(cfg)
         .apres()
         .max_cycles(5_000_000)
-        .run();
+        .run()
+        .expect("bypass+apres runs to completion");
     check_invariants(&r, "bypass+apres");
 }
 
@@ -120,7 +124,10 @@ fn cycle_cap_reports_timeout_cleanly() {
     let r = Simulation::new(Benchmark::Km.kernel_scaled(64))
         .config(cfg)
         .max_cycles(500)
-        .run();
+        .run()
+        .expect("budget exhaustion is a structured outcome, not an error");
     assert!(r.timed_out);
     assert_eq!(r.cycles, 500);
+    assert_eq!(r.termination, Termination::BudgetExhausted { budget: 500 });
+    assert_eq!(r.termination.to_string(), "budget-exhausted(500)");
 }

@@ -1,5 +1,7 @@
 //! Cross-crate integration: bit-exact determinism of full simulations.
 
+// Integration tests may use the ergonomic panicking forms freely.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use apres::{Benchmark, GpuConfig, PrefetcherChoice, SchedulerChoice, Simulation};
 
 fn cfg() -> GpuConfig {
@@ -15,6 +17,7 @@ fn run_once(b: Benchmark, s: SchedulerChoice, p: PrefetcherChoice) -> apres::Run
         .prefetcher(p)
         .max_cycles(5_000_000)
         .run()
+        .expect("determinism workloads run to completion")
 }
 
 #[test]
@@ -63,7 +66,10 @@ fn all_benchmarks_complete_under_apres() {
 #[test]
 fn different_seeds_change_behaviour_of_noisy_kernels() {
     let base = Benchmark::Km.kernel_scaled(8);
-    let r1 = Simulation::new(base.clone()).config(cfg()).run();
+    let r1 = Simulation::new(base.clone())
+        .config(cfg())
+        .run()
+        .expect("KM runs");
     // Rebuild with a different seed through the builder API.
     let k2 = apres::Kernel::builder("KM-reseeded")
         .seed(999)
@@ -73,7 +79,7 @@ fn different_seeds_change_behaviour_of_noisy_kernels() {
         .alu(4, &[1])
         .iterations(8)
         .build();
-    let r2 = Simulation::new(k2).config(cfg()).run();
+    let r2 = Simulation::new(k2).config(cfg()).run().expect("reseeded KM runs");
     assert_ne!(
         (r1.cycles, r1.l1.hits),
         (r2.cycles, r2.l1.hits),

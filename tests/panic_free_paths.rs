@@ -1,0 +1,72 @@
+//! Source-level audit: the config-validation, MSHR-allocation, and
+//! simulation-facade paths must contain no panicking escape hatches in
+//! non-test code. The workspace lints already deny `clippy::unwrap_used` /
+//! `clippy::expect_used` in library crates; this test additionally rejects
+//! `panic!`-family macros on the critical paths, so a regression fails
+//! `cargo test` even when clippy is not run.
+
+// Integration tests may use the ergonomic panicking forms freely.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use std::path::Path;
+
+const AUDITED: &[&str] = &[
+    "crates/common/src/config.rs",
+    "crates/mem/src/mshr.rs",
+    "crates/mem/src/l1.rs",
+    "crates/mem/src/memsys.rs",
+    "crates/sm/src/gpu.rs",
+    "crates/core/src/sim.rs",
+];
+
+const FORBIDDEN: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Strips the trailing `#[cfg(test)]` module (tests may unwrap freely).
+fn non_test_code(src: &str) -> &str {
+    match src.find("#[cfg(test)]") {
+        Some(pos) => &src[..pos],
+        None => src,
+    }
+}
+
+#[test]
+fn critical_paths_contain_no_panicking_escape_hatches() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    for rel in AUDITED {
+        let path = root.join(rel);
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("audited file {rel} unreadable: {e}"));
+        for (idx, line) in non_test_code(&src).lines().enumerate() {
+            let code = line.trim_start();
+            // Comments and doc comments may *talk about* panics.
+            if code.starts_with("//") {
+                continue;
+            }
+            for pat in FORBIDDEN {
+                if code.contains(pat) {
+                    violations.push(format!("{rel}:{}: {}", idx + 1, code.trim()));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "panicking escape hatches on audited paths:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn audited_files_exist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for rel in AUDITED {
+        assert!(root.join(rel).is_file(), "audited path {rel} missing");
+    }
+}

@@ -2,6 +2,8 @@
 //! reproduction must preserve (directions and orderings, not absolute
 //! numbers — see EXPERIMENTS.md).
 
+// Integration tests may use the ergonomic panicking forms freely.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use apres::{
     Benchmark, EnergyModel, GpuConfig, HwCost, PrefetcherChoice, RunResult, SchedulerChoice,
     Simulation,
@@ -20,6 +22,7 @@ fn run(b: Benchmark, s: SchedulerChoice, p: PrefetcherChoice) -> RunResult {
         .prefetcher(p)
         .max_cycles(10_000_000)
         .run()
+        .expect("paper-claim workloads run to completion")
 }
 
 fn geomean(v: &[f64]) -> f64 {
@@ -57,7 +60,8 @@ fn huge_l1_removes_capacity_misses_on_km() {
     let big = Simulation::new(Benchmark::Km.kernel_scaled(16))
         .config(big_cfg)
         .max_cycles(10_000_000)
-        .run();
+        .run()
+        .expect("32MB-L1 KM runs to completion");
     let cc = |r: &RunResult| r.l1.capacity_conflict_misses as f64 / r.l1.accesses.max(1) as f64;
     assert!(
         cc(&big) < cc(&small) / 4.0,

@@ -1,89 +1,99 @@
 //! Property-based integration tests: random small kernels through the full
-//! simulator must preserve every accounting invariant under every policy.
+//! simulator must preserve every accounting invariant under every policy,
+//! stay bit-exactly deterministic, and — with a fault plan armed — remain
+//! deterministic fault-for-fault as well.
 
+use apres::common::check::{run_cases, Gen};
 use apres::{
-    AddressPattern, GpuConfig, Kernel, PrefetcherChoice, RunResult, SchedulerChoice, Simulation,
+    AddressPattern, FaultPlan, GpuConfig, Kernel, PrefetcherChoice, RunResult, SchedulerChoice,
+    Simulation,
 };
-use proptest::prelude::*;
 
-/// Strategy for one random address pattern with bounded footprints.
-fn pattern_strategy() -> impl Strategy<Value = AddressPattern> {
-    prop_oneof![
-        // Shared stream.
-        (0u64..4, 1i64..512, 0.0f64..0.5).prop_map(|(base, stride, noise)| {
-            AddressPattern::SharedStream {
-                base: base * 0x10_0000,
-                iter_stride: stride,
-                noise,
-                region_bytes: 64 * 1024,
+/// One random address pattern with bounded footprints.
+fn pattern(g: &mut Gen) -> AddressPattern {
+    let base = g.range(0, 3) * 0x10_0000;
+    match g.range(0, 2) {
+        0 => AddressPattern::SharedStream {
+            base,
+            iter_stride: g.range(1, 511) as i64,
+            noise: g.prob() / 2.0,
+            region_bytes: 64 * 1024,
+        },
+        1 => {
+            let magnitude = g.range(64, 8192) as i64;
+            AddressPattern::WarpStrided {
+                base,
+                warp_stride: if g.chance(0.5) { magnitude } else { -magnitude },
+                iter_stride: g.range(0, 4095) as i64,
+                lane_stride: *g.choose(&[4u64, 64, 136]),
+                wrap_bytes: if g.chance(0.5) {
+                    None
+                } else {
+                    Some(g.range(64, 4096) * 1024)
+                },
+                noise: g.prob() / 2.0,
             }
-        }),
-        // Warp-strided, optionally wrapped/negative.
-        (
-            0u64..4,
-            prop_oneof![(-8192i64..-64), (64i64..8192)],
-            0i64..4096,
-            prop_oneof![Just(4u64), Just(64), Just(136)],
-            prop_oneof![Just(None), (64u64..4096).prop_map(|w| Some(w * 1024))],
-            0.0f64..0.5
-        )
-            .prop_map(|(base, ws, is, ls, wrap, noise)| AddressPattern::WarpStrided {
-                base: base * 0x10_0000,
-                warp_stride: ws,
-                iter_stride: is,
-                lane_stride: ls,
-                wrap_bytes: wrap,
-                noise,
-            }),
-        // Irregular.
-        (0u64..4, 16u64..512, 1u64..64, 0.0f64..1.0).prop_map(|(base, ws, hot, p)| {
-            AddressPattern::irregular(base * 0x10_0000, ws * 1024, hot * 1024, p)
-        }),
-    ]
+        }
+        _ => {
+            AddressPattern::irregular(base, g.range(16, 511) * 1024, g.range(1, 63) * 1024, g.prob())
+        }
+    }
 }
 
-/// Builds a random 2–6 instruction kernel: loads with the generated
-/// patterns, a dependent ALU chain, an optional store.
-fn kernel_strategy() -> impl Strategy<Value = Kernel> {
-    (
-        proptest::collection::vec(pattern_strategy(), 1..3),
-        1u64..6,   // iterations
-        0u64..999, // seed
-        any::<bool>(),
-    )
-        .prop_map(|(patterns, iters, seed, with_store)| {
-            let mut b = Kernel::builder("prop").seed(seed);
-            let n = patterns.len();
-            for p in patterns {
-                b = b.load(p, &[]);
-            }
-            let deps: Vec<usize> = (0..n).collect();
-            b = b.alu(8, &deps);
-            if with_store {
-                b = b.store(AddressPattern::warp_strided(0x40_0000, 128, 4096, 4), &[n]);
-            }
-            b.iterations(iters).build()
-        })
+/// A random 2–6 instruction kernel: loads with generated patterns, a
+/// dependent ALU chain, an optional store.
+fn kernel(g: &mut Gen) -> Kernel {
+    let n = g.usize_range(1, 2);
+    let iterations = g.range(1, 5);
+    let seed = g.range(0, 998);
+    let with_store = g.chance(0.5);
+    let mut b = Kernel::builder("prop").seed(seed);
+    for _ in 0..n {
+        b = b.load(pattern(g), &[]);
+    }
+    let deps: Vec<usize> = (0..n).collect();
+    b = b.alu(8, &deps);
+    if with_store {
+        b = b.store(AddressPattern::warp_strided(0x40_0000, 128, 4096, 4), &[n]);
+    }
+    b.iterations(iterations).build()
 }
 
-fn check(r: &RunResult, tag: &str) {
-    assert!(!r.timed_out, "{tag}: timed out");
-    assert_eq!(r.l1.hits + r.l1.misses(), r.l1.accesses, "{tag}");
-    assert_eq!(r.l1.hit_after_hit + r.l1.hit_after_miss, r.l1.hits, "{tag}");
-    assert_eq!(r.mem.completed_loads, r.sim.loads, "{tag}");
-    assert!(r.sim.loads + r.sim.stores <= r.sim.instructions, "{tag}");
+fn check(r: &RunResult, tag: &str) -> Result<(), String> {
+    if r.timed_out {
+        return Err(format!("{tag}: timed out"));
+    }
+    if r.l1.hits + r.l1.misses() != r.l1.accesses {
+        return Err(format!("{tag}: hits+misses != accesses"));
+    }
+    if r.l1.hit_after_hit + r.l1.hit_after_miss != r.l1.hits {
+        return Err(format!("{tag}: hit split broken"));
+    }
+    if r.mem.completed_loads != r.sim.loads {
+        return Err(format!(
+            "{tag}: completed loads {} != issued loads {}",
+            r.mem.completed_loads, r.sim.loads
+        ));
+    }
+    if r.sim.loads + r.sim.stores > r.sim.instructions {
+        return Err(format!("{tag}: instruction mix inconsistent"));
+    }
     // Per-PC stats are consistent with the aggregate.
     let pc_acc: u64 = r.per_pc.iter().map(|(_, s)| s.accesses).sum();
     let pc_hits: u64 = r.per_pc.iter().map(|(_, s)| s.hits).sum();
-    assert_eq!(pc_acc, r.l1.accesses, "{tag}: per-PC access sum");
-    assert_eq!(pc_hits, r.l1.hits, "{tag}: per-PC hit sum");
+    if pc_acc != r.l1.accesses {
+        return Err(format!("{tag}: per-PC access sum"));
+    }
+    if pc_hits != r.l1.hits {
+        return Err(format!("{tag}: per-PC hit sum"));
+    }
+    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_kernels_preserve_invariants(kernel in kernel_strategy()) {
+#[test]
+fn random_kernels_preserve_invariants() {
+    run_cases(24, |_, g| {
+        let kernel = kernel(g);
         let mut cfg = GpuConfig::small_test();
         cfg.core.warps_per_sm = 8;
         for (s, p) in [
@@ -96,13 +106,18 @@ proptest! {
                 .scheduler(s)
                 .prefetcher(p)
                 .max_cycles(2_000_000)
-                .run();
-            check(&r, &format!("{s:?}+{p:?} on {kernel:?}"));
+                .run()
+                .map_err(|e| format!("{s:?}+{p:?}: unexpected SimError [{}] {e}", e.class()))?;
+            check(&r, &format!("{s:?}+{p:?}"))?;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn random_kernels_deterministic(kernel in kernel_strategy()) {
+#[test]
+fn random_kernels_deterministic() {
+    run_cases(24, |_, g| {
+        let kernel = kernel(g);
         let cfg = GpuConfig::small_test();
         let run = || {
             Simulation::new(kernel.clone())
@@ -110,11 +125,78 @@ proptest! {
                 .apres()
                 .max_cycles(2_000_000)
                 .run()
+                .map_err(|e| format!("unexpected SimError [{}] {e}", e.class()))
         };
-        let a = run();
-        let b = run();
-        prop_assert_eq!(a.cycles, b.cycles);
-        prop_assert_eq!(a.l1, b.l1);
-        prop_assert_eq!(a.per_pc, b.per_pc);
+        let a = run()?;
+        let b = run()?;
+        if a.cycles != b.cycles {
+            return Err(format!("cycles differ: {} vs {}", a.cycles, b.cycles));
+        }
+        if a.l1 != b.l1 {
+            return Err("cache stats differ".into());
+        }
+        if a.per_pc != b.per_pc {
+            return Err("per-PC stats differ".into());
+        }
+        Ok(())
+    });
+}
+
+/// A random *survivable* fault plan (delays, MSHR bursts, SAP corruption —
+/// nothing that strands a request forever).
+fn survivable_plan(g: &mut Gen) -> FaultPlan {
+    let mut plan = FaultPlan::seeded(g.u64());
+    if g.chance(0.7) {
+        plan = plan.delaying_dram_responses(g.prob(), g.range(1, 400));
     }
+    if g.chance(0.5) {
+        plan = plan.exhausting_mshrs(g.range(50, 400), g.range(1, 40));
+    }
+    if g.chance(0.7) {
+        plan = plan.corrupting_sap(g.prob());
+    }
+    plan
+}
+
+#[test]
+fn survivable_faults_never_panic_and_stay_invariant() {
+    run_cases(16, |_, g| {
+        let kernel = kernel(g);
+        let plan = survivable_plan(g);
+        let mut cfg = GpuConfig::small_test();
+        cfg.core.warps_per_sm = 8;
+        let r = Simulation::new(kernel)
+            .config(cfg)
+            .apres()
+            .fault_plan(plan.clone())
+            .max_cycles(4_000_000)
+            .run()
+            .map_err(|e| format!("survivable plan {plan:?} errored: [{}] {e}", e.class()))?;
+        // Delays and refusals cost cycles, never correctness.
+        check(&r, &format!("{plan:?}"))
+    });
+}
+
+#[test]
+fn same_fault_seed_gives_byte_identical_outcome() {
+    run_cases(12, |_, g| {
+        let kernel = kernel(g);
+        let plan = survivable_plan(g);
+        let run = || {
+            Simulation::new(kernel.clone())
+                .config(GpuConfig::small_test())
+                .apres()
+                .fault_plan(plan.clone())
+                .max_cycles(4_000_000)
+                .run()
+                .map_err(|e| format!("unexpected SimError [{}] {e}", e.class()))
+        };
+        let a = run()?;
+        let b = run()?;
+        if (a.cycles, a.faults, a.l1.clone(), a.prefetch) != (b.cycles, b.faults, b.l1, b.prefetch)
+        {
+            return Err(format!("fault runs diverged under plan {plan:?}"));
+        }
+        Ok(())
+    });
 }
