@@ -1,0 +1,196 @@
+//! Deliberately defective kernels for exercising the analysis passes.
+//!
+//! Each constructor returns a kernel that builds (the eager
+//! [`KernelBuilder`](gpu_kernel::KernelBuilder) checks only what it cannot
+//! represent at all) but trips exactly one class of diagnostic. They are
+//! the lint pipeline's negative fixtures: the tests here pin, per fixture,
+//! the pass, severity, and message fragment the defect must produce, so a
+//! verifier regression that silently stops reporting one shows up as a
+//! test failure rather than as a green lint run.
+
+use gpu_common::Pc;
+use gpu_kernel::{AddressPattern, Kernel, LoadSlot, Op, StaticInstr};
+
+/// An instruction that depends on itself — the smallest dependency cycle.
+///
+/// Expected: `structure` **error** mentioning "depends on itself".
+pub fn self_dependency() -> Kernel {
+    Kernel::builder("fixture-self-dep")
+        .raw_instr(StaticInstr::new(Pc(0x100), Op::Alu { latency: 8 }, vec![0]))
+        .build()
+}
+
+/// A two-instruction cycle via a forward dependency (0 → 1 → 0).
+///
+/// Expected: `structure` **error** mentioning "forward dependency".
+pub fn forward_cycle() -> Kernel {
+    Kernel::builder("fixture-cycle")
+        .raw_instr(StaticInstr::new(Pc(0x100), Op::Alu { latency: 8 }, vec![1]))
+        .raw_instr(StaticInstr::new(Pc(0x108), Op::Alu { latency: 8 }, vec![0]))
+        .build()
+}
+
+/// A load whose pattern slot points past the pattern table.
+///
+/// Expected: `structure` **error** mentioning "dangling pattern slot".
+pub fn dangling_slot() -> Kernel {
+    Kernel::builder("fixture-dangling-slot")
+        .raw_instr(StaticInstr::new(
+            Pc(0x100),
+            Op::LoadGlobal { slot: LoadSlot(5) },
+            vec![],
+        ))
+        .alu(8, &[0])
+        .build()
+}
+
+/// A load whose result no later instruction consumes.
+///
+/// Expected: `def-use` **warning** mentioning "never consumed".
+pub fn dead_load() -> Kernel {
+    Kernel::builder("fixture-dead-load")
+        .load(AddressPattern::warp_strided(0x1000, 128, 0, 4), &[])
+        .alu(8, &[])
+        .build()
+}
+
+/// A barrier only part of the warp reaches — guaranteed deadlock at
+/// runtime, since the missing lanes never arrive.
+///
+/// Expected: `def-use` **error** mentioning "deadlock".
+pub fn divergent_barrier() -> Kernel {
+    Kernel::builder("fixture-divergent-barrier")
+        .alu(8, &[])
+        .raw_instr(StaticInstr {
+            pc: Pc(0x108),
+            op: Op::Barrier,
+            deps: vec![0],
+            active_lanes: Some(8),
+        })
+        .build()
+}
+
+/// A kernel claiming to be the paper's KM workload but striding at 999
+/// bytes instead of Table I's 4352.
+///
+/// Expected: `table1` **error** mentioning the declared stride.
+pub fn stride_mismatch_km() -> Kernel {
+    Kernel::builder("KM")
+        .at_pc(0xE8)
+        .load(AddressPattern::warp_strided(0x0100_0000, 999, 0, 4), &[])
+        .alu(8, &[0])
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use gpu_common::diag::{Diagnostic, Severity};
+
+    fn find<'a>(
+        diags: &'a [Diagnostic],
+        severity: Severity,
+        pass: &str,
+        fragment: &str,
+    ) -> Option<&'a Diagnostic> {
+        diags
+            .iter()
+            .find(|d| d.severity == severity && d.pass == pass && d.message.contains(fragment))
+    }
+
+    #[test]
+    fn self_dependency_is_a_structure_error() {
+        let r = analyze(&self_dependency(), 32, false);
+        let d = find(
+            r.report.diagnostics(),
+            Severity::Error,
+            "structure",
+            "depends on itself",
+        );
+        assert!(d.is_some(), "{:#?}", r.report.diagnostics());
+        assert_eq!(d.and_then(|d| d.pc), Some(Pc(0x100)));
+    }
+
+    #[test]
+    fn forward_cycle_is_a_structure_error() {
+        let r = analyze(&forward_cycle(), 32, false);
+        assert!(
+            find(
+                r.report.diagnostics(),
+                Severity::Error,
+                "structure",
+                "forward dependency"
+            )
+            .is_some(),
+            "{:#?}",
+            r.report.diagnostics()
+        );
+    }
+
+    #[test]
+    fn dangling_slot_is_a_structure_error() {
+        let r = analyze(&dangling_slot(), 32, false);
+        let d = find(
+            r.report.diagnostics(),
+            Severity::Error,
+            "structure",
+            "dangling pattern slot",
+        );
+        assert!(d.is_some(), "{:#?}", r.report.diagnostics());
+    }
+
+    #[test]
+    fn dead_load_is_a_def_use_warning() {
+        let r = analyze(&dead_load(), 32, false);
+        let d = find(
+            r.report.diagnostics(),
+            Severity::Warning,
+            "def-use",
+            "never consumed",
+        );
+        assert!(d.is_some(), "{:#?}", r.report.diagnostics());
+        assert!(!r.report.has_errors());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn divergent_barrier_is_a_def_use_error() {
+        let r = analyze(&divergent_barrier(), 32, false);
+        assert!(
+            find(
+                r.report.diagnostics(),
+                Severity::Error,
+                "def-use",
+                "deadlock"
+            )
+            .is_some(),
+            "{:#?}",
+            r.report.diagnostics()
+        );
+    }
+
+    #[test]
+    fn stride_mismatch_is_a_table1_error() {
+        let r = analyze(&stride_mismatch_km(), 32, false);
+        let d = find(r.report.diagnostics(), Severity::Error, "table1", "999");
+        assert!(d.is_some(), "{:#?}", r.report.diagnostics());
+        assert_eq!(d.and_then(|d| d.pc), Some(Pc(0xE8)));
+    }
+
+    #[test]
+    fn every_fixture_fails_the_lint_gate() {
+        let fixtures: [Kernel; 6] = [
+            self_dependency(),
+            forward_cycle(),
+            dangling_slot(),
+            dead_load(),
+            divergent_barrier(),
+            stride_mismatch_km(),
+        ];
+        for k in &fixtures {
+            let r = analyze(k, 32, false);
+            assert!(!r.is_clean(), "{} should not lint clean", k.name());
+        }
+    }
+}

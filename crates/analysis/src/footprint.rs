@@ -1,0 +1,502 @@
+//! Static footprint and stride inference (analysis pass 3).
+//!
+//! Every [`AddressPattern`] is a closed-form address generator, so its
+//! stride class and byte footprint are derivable without running a single
+//! cycle. [`infer_loads`] produces one [`LoadSummary`] per static load:
+//!
+//! * [`StrideClass`] — what a perfect predictor should conclude about the
+//!   load: `Strided` (inter-warp stride with a confidence = 1 − noise),
+//!   `SharedStream` (stride 0, lock-step), or `Irregular` (no stride).
+//! * [`AddrInterval`] — a conservative slab-relative `[lo, hi)` interval
+//!   guaranteed to contain every byte the load can touch for the analysed
+//!   `(warps, iterations, warp_size)` envelope, including `with_noise`
+//!   jitter and `with_wrap` wrap-around.
+//!
+//! [`table1_crosscheck`] (pass `"table1"`) then compares the inference
+//! against the paper's declared Table-I rows for the kernel: a declared PC
+//! with no load is a warning; a nominal stride disagreeing with the paper's
+//! stride column is an error (the workload would silently model a different
+//! access pattern than it claims); a `WarpStrided` noise level implying a
+//! %Stride more than 25 points away from the paper's is a warning.
+
+use gpu_common::diag::{Diagnostic, Report};
+use gpu_common::json::Json;
+use gpu_common::Pc;
+use gpu_kernel::{AddressPattern, Kernel, LoadSlot};
+use gpu_workloads::PAPER_TABLE_I;
+
+/// Pass label of the Table-I cross-check.
+pub const PASS_TABLE1: &str = "table1";
+
+/// Width of one scalar lane access in bytes (the sampler's alignment unit).
+const ACCESS_BYTES: u64 = 4;
+
+/// Tolerated |declared %Stride − (1 − noise)| before the plausibility
+/// warning fires.
+const PCT_STRIDE_TOLERANCE: f64 = 0.25;
+
+/// What a perfect stride predictor should statically conclude about a load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrideClass {
+    /// Linear in the warp ID with the given inter-warp stride; `confidence`
+    /// is the fraction of accesses on the stride (1 − noise).
+    Strided {
+        /// Dominant inter-warp stride in bytes.
+        stride: i64,
+        /// Fraction of accesses following it.
+        confidence: f64,
+    },
+    /// Every warp reads the same address at a given iteration (stride 0).
+    SharedStream {
+        /// Fraction of accesses on the lock-step stream (1 − noise).
+        confidence: f64,
+    },
+    /// No meaningful inter-warp stride exists.
+    Irregular,
+}
+
+impl StrideClass {
+    /// Classifies an address pattern.
+    pub fn of(pattern: &AddressPattern) -> Self {
+        match *pattern {
+            AddressPattern::SharedStream { noise, .. } => StrideClass::SharedStream {
+                confidence: 1.0 - noise,
+            },
+            AddressPattern::WarpStrided {
+                warp_stride, noise, ..
+            } => StrideClass::Strided {
+                stride: warp_stride,
+                confidence: 1.0 - noise,
+            },
+            AddressPattern::Irregular { .. } => StrideClass::Irregular,
+        }
+    }
+
+    /// JSON object form (`kind` + class-specific fields).
+    pub fn to_json(&self) -> Json {
+        match *self {
+            StrideClass::Strided { stride, confidence } => Json::Obj(vec![
+                ("kind".into(), Json::str("strided")),
+                ("stride".into(), Json::from_i64(stride)),
+                ("confidence".into(), Json::from_f64(confidence)),
+            ]),
+            StrideClass::SharedStream { confidence } => Json::Obj(vec![
+                ("kind".into(), Json::str("shared_stream")),
+                ("confidence".into(), Json::from_f64(confidence)),
+            ]),
+            StrideClass::Irregular => Json::Obj(vec![("kind".into(), Json::str("irregular"))]),
+        }
+    }
+}
+
+/// A half-open byte interval `[lo, hi)`, relative to the pattern's SM slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrInterval {
+    /// First byte the load can touch.
+    pub lo: u64,
+    /// One past the last byte the load can touch.
+    pub hi: u64,
+}
+
+impl AddrInterval {
+    /// Interval length in bytes.
+    pub fn len(&self) -> u64 {
+        self.hi.saturating_sub(self.lo)
+    }
+
+    /// `true` when the interval is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+
+    /// `true` when `addr` lies inside the interval.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.lo && addr < self.hi
+    }
+}
+
+/// Static summary of one load (or store) site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSummary {
+    /// Body index of the instruction.
+    pub index: usize,
+    /// Static PC.
+    pub pc: Pc,
+    /// Pattern slot it reads through.
+    pub slot: LoadSlot,
+    /// Inferred stride class.
+    pub class: StrideClass,
+    /// `AddressPattern::nominal_stride` of the backing pattern.
+    pub nominal_stride: Option<i64>,
+    /// Conservative slab-relative footprint.
+    pub footprint: AddrInterval,
+    /// Active-lane mask, when the load diverges.
+    pub active_lanes: Option<u32>,
+}
+
+impl LoadSummary {
+    /// Working-set bytes implied by the footprint interval.
+    pub fn working_set_bytes(&self) -> u64 {
+        self.footprint.len()
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("index".into(), Json::from_u64(self.index as u64)),
+            ("pc".into(), Json::from_u64(self.pc.0)),
+            ("slot".into(), Json::from_u64(self.slot.0 as u64)),
+            ("class".into(), self.class.to_json()),
+            (
+                "nominal_stride".into(),
+                self.nominal_stride.map_or(Json::Null, Json::from_i64),
+            ),
+            ("footprint_lo".into(), Json::from_u64(self.footprint.lo)),
+            ("footprint_hi".into(), Json::from_u64(self.footprint.hi)),
+            (
+                "working_set_bytes".into(),
+                Json::from_u64(self.working_set_bytes()),
+            ),
+            (
+                "active_lanes".into(),
+                self.active_lanes
+                    .map_or(Json::Null, |l| Json::from_u64(u64::from(l))),
+            ),
+        ])
+    }
+}
+
+/// Execution envelope the footprint is computed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Warps per SM the kernel will run with.
+    pub warps: u32,
+    /// Lanes per warp.
+    pub warp_size: u32,
+}
+
+impl Default for Envelope {
+    fn default() -> Self {
+        // The paper baseline: 48 warps of 32 lanes per SM.
+        Envelope {
+            warps: 48,
+            warp_size: 32,
+        }
+    }
+}
+
+/// Conservative footprint of `pattern` over `iterations` trips of
+/// `envelope.warps` warps. Mirrors the `PatternSampler` address math,
+/// including noise jitter and wrap-around; every sampled address (minus the
+/// per-SM slab) is guaranteed to fall inside the returned interval.
+pub fn footprint(pattern: &AddressPattern, iterations: u64, env: Envelope) -> AddrInterval {
+    let max_warp = i64::from(env.warps.saturating_sub(1));
+    let max_iter = iterations.saturating_sub(1) as i64;
+    let max_lane = u64::from(env.warp_size.saturating_sub(1));
+    match *pattern {
+        AddressPattern::SharedStream {
+            base,
+            iter_stride,
+            noise,
+            region_bytes,
+        } => {
+            // Clean walk: base + iter_stride·iter for iter ∈ [0, iterations).
+            let span = iter_stride.saturating_mul(max_iter);
+            let mut lo = base.saturating_add_signed(span.min(0));
+            let mut hi = base.saturating_add_signed(span.max(0)) + ACCESS_BYTES;
+            if noise > 0.0 {
+                // Deviants land in [base, base + region) (4-byte aligned).
+                lo = lo.min(base);
+                hi = hi.max(base + region_bytes.max(ACCESS_BYTES));
+            }
+            AddrInterval { lo, hi }
+        }
+        AddressPattern::WarpStrided {
+            base,
+            warp_stride,
+            iter_stride,
+            lane_stride,
+            wrap_bytes,
+            noise,
+        } => {
+            if let Some(w) = wrap_bytes.filter(|&w| w > 0) {
+                // Offsets (jitter included — wrap applies after it) are
+                // reduced modulo the working set: exactly [base, base + w).
+                return AddrInterval {
+                    lo: base,
+                    hi: base + w,
+                };
+            }
+            let warp_span = warp_stride.saturating_mul(max_warp);
+            let iter_span = iter_stride.saturating_mul(max_iter);
+            let lane_span = (lane_stride.saturating_mul(max_lane)) as i64;
+            // Jitter (when noise can fire) is s·k + s/2 with
+            // s = max(|warp_stride|, 256) and k ∈ [2, 62]: always positive.
+            let jitter_max = if noise > 0.0 {
+                let s = warp_stride.unsigned_abs().max(256) as i64;
+                s.saturating_mul(62).saturating_add(s / 2)
+            } else {
+                0
+            };
+            let min_off = warp_span.min(0).saturating_add(iter_span.min(0));
+            let max_off = warp_span
+                .max(0)
+                .saturating_add(iter_span.max(0))
+                .saturating_add(lane_span)
+                .saturating_add(jitter_max);
+            AddrInterval {
+                // Negative offsets saturate at address 0 in the sampler, so
+                // the interval floor does too.
+                lo: base.saturating_add_signed(min_off),
+                hi: base.saturating_add_signed(max_off) + ACCESS_BYTES,
+            }
+        }
+        AddressPattern::Irregular {
+            base,
+            working_set_bytes,
+            hot_bytes,
+            hot_prob,
+            lane_spread,
+        } => {
+            // Region choice is hot_bytes with probability hot_prob, else the
+            // whole working set; the start lands 4-byte aligned inside it.
+            let region = if hot_prob >= 1.0 {
+                hot_bytes.max(ACCESS_BYTES)
+            } else {
+                working_set_bytes
+                    .max(ACCESS_BYTES)
+                    .max(if hot_prob > 0.0 { hot_bytes } else { 0 })
+            };
+            AddrInterval {
+                lo: base,
+                hi: base + region + lane_spread.saturating_mul(max_lane),
+            }
+        }
+    }
+}
+
+/// Summarises every load site of `kernel` (stores are excluded: Table I and
+/// SAP both key on loads).
+pub fn infer_loads(kernel: &Kernel, env: Envelope) -> Vec<LoadSummary> {
+    kernel
+        .load_sites()
+        .map(|(index, pc, slot)| {
+            let pattern = kernel.pattern(slot);
+            LoadSummary {
+                index,
+                pc,
+                slot,
+                class: StrideClass::of(pattern),
+                nominal_stride: pattern.nominal_stride(),
+                footprint: footprint(pattern, kernel.iterations(), env),
+                active_lanes: kernel.body()[index].active_lanes,
+            }
+        })
+        .collect()
+}
+
+/// Cross-checks the kernel's loads against its declared Table-I rows
+/// (matched by kernel name). Kernels without a Table-I presence verify
+/// vacuously.
+pub fn table1_crosscheck(kernel: &Kernel, loads: &[LoadSummary]) -> Report {
+    let mut report = Report::new();
+    for row in PAPER_TABLE_I.iter().filter(|r| r.app == kernel.name()) {
+        let Some(load) = loads.iter().find(|l| l.pc == Pc(row.pc)) else {
+            report.push(Diagnostic::warning(
+                PASS_TABLE1,
+                Some(Pc(row.pc)),
+                format!(
+                    "Table I declares a load at pc {:#x} for {} but the kernel has none",
+                    row.pc,
+                    kernel.name()
+                ),
+            ));
+            continue;
+        };
+        match load.nominal_stride {
+            Some(s) if s != row.stride => report.push(Diagnostic::error(
+                PASS_TABLE1,
+                Some(load.pc),
+                format!(
+                    "nominal stride {s} contradicts Table I's declared stride {} \
+                     (the workload models a different access pattern than it claims)",
+                    row.stride
+                ),
+            )),
+            Some(_) => {
+                if let StrideClass::Strided { confidence, .. } = load.class {
+                    let diff = (confidence - row.pct_stride).abs();
+                    if diff > PCT_STRIDE_TOLERANCE {
+                        report.push(Diagnostic::warning(
+                            PASS_TABLE1,
+                            Some(load.pc),
+                            format!(
+                                "noise implies {:.0}% of accesses on the stride but Table I \
+                                 declares {:.0}% (Δ {:.0} points)",
+                                confidence * 100.0,
+                                row.pct_stride * 100.0,
+                                diff * 100.0
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Irregular loads carry no nominal stride; Table I's stride-0
+            // rows with low %Stride are exactly this shape.
+            None => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_kernel::PatternSampler;
+    use gpu_workloads::Benchmark;
+
+    fn env() -> Envelope {
+        Envelope {
+            warps: 48,
+            warp_size: 32,
+        }
+    }
+
+    #[test]
+    fn classes_follow_patterns() {
+        assert_eq!(
+            StrideClass::of(&AddressPattern::warp_strided(0, 4352, 0, 4).with_noise(0.22)),
+            StrideClass::Strided {
+                stride: 4352,
+                confidence: 0.78
+            }
+        );
+        assert_eq!(
+            StrideClass::of(&AddressPattern::shared_stream(0, 64)),
+            StrideClass::SharedStream { confidence: 1.0 }
+        );
+        assert_eq!(
+            StrideClass::of(&AddressPattern::irregular(0, 1 << 20, 4096, 0.5)),
+            StrideClass::Irregular
+        );
+    }
+
+    #[test]
+    fn wrapped_pattern_footprint_is_the_wrap_window() {
+        let p = AddressPattern::warp_strided(0x1000, 4352, 0, 136)
+            .with_wrap(2 << 20)
+            .with_noise(0.22);
+        let f = footprint(&p, 32, env());
+        assert_eq!(f.lo, 0x1000);
+        assert_eq!(f.hi, 0x1000 + (2 << 20));
+    }
+
+    #[test]
+    fn clean_stream_footprint_is_tight() {
+        // 48 warps × stride 128, 4 iters × 6144, 32 lanes × 4, no noise:
+        // max offset = 47·128 + 3·6144 + 31·4.
+        let p = AddressPattern::WarpStrided {
+            base: 0x4000,
+            warp_stride: 128,
+            iter_stride: 6144,
+            lane_stride: 4,
+            wrap_bytes: None,
+            noise: 0.0,
+        };
+        let f = footprint(&p, 4, env());
+        assert_eq!(f.lo, 0x4000);
+        assert_eq!(f.hi, 0x4000 + 47 * 128 + 3 * 6144 + 31 * 4 + 4);
+    }
+
+    #[test]
+    fn negative_stride_footprint_extends_downward() {
+        let p = AddressPattern::warp_strided(1 << 24, -4096, 0, 4);
+        let f = footprint(&p, 1, env());
+        assert_eq!(f.lo, (1 << 24) - 47 * 4096);
+        assert_eq!(f.hi, (1 << 24) + 31 * 4 + 4);
+    }
+
+    #[test]
+    fn every_sampled_address_lands_in_the_footprint() {
+        // Containment against the real sampler for every shipped pattern.
+        for b in Benchmark::ALL {
+            let k = b.kernel();
+            let sampler = PatternSampler::new(k.seed(), 32);
+            for load in infer_loads(&k, env()) {
+                let pattern = k.pattern(load.slot);
+                let lanes = load.active_lanes.unwrap_or(32);
+                for warp in 0..48 {
+                    for iter in [0, 1, k.iterations() / 2, k.iterations() - 1] {
+                        for addr in sampler.addresses(pattern, 0, warp, iter, lanes) {
+                            assert!(
+                                load.footprint.contains(addr.0),
+                                "{} pc {:#x}: {:#x} outside [{:#x}, {:#x})",
+                                b.label(),
+                                load.pc.0,
+                                addr.0,
+                                load.footprint.lo,
+                                load.footprint.hi
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shipped_workloads_pass_table1_crosscheck() {
+        for b in Benchmark::ALL {
+            let k = b.kernel();
+            let loads = infer_loads(&k, env());
+            let r = table1_crosscheck(&k, &loads);
+            assert!(r.is_clean(), "{}: {:?}", b.label(), r.diagnostics());
+        }
+    }
+
+    #[test]
+    fn stride_mismatch_is_an_error() {
+        // A kernel claiming to be KM but striding 999 instead of 4352.
+        let k = Kernel::builder("KM")
+            .at_pc(0xE8)
+            .load(AddressPattern::warp_strided(0, 999, 0, 4), &[])
+            .alu(8, &[0])
+            .build();
+        let loads = infer_loads(&k, env());
+        let r = table1_crosscheck(&k, &loads);
+        assert!(r.has_errors());
+        assert!(r.diagnostics()[0].message.contains("contradicts Table I"));
+    }
+
+    #[test]
+    fn missing_declared_pc_is_a_warning() {
+        let k = Kernel::builder("KM")
+            .load(AddressPattern::warp_strided(0, 4352, 0, 4), &[]) // pc 0x100, not 0xE8
+            .alu(8, &[0])
+            .build();
+        let loads = infer_loads(&k, env());
+        let r = table1_crosscheck(&k, &loads);
+        assert!(!r.has_errors());
+        assert_eq!(r.count(gpu_common::Severity::Warning), 1);
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let k = Benchmark::Km.kernel();
+        let loads = infer_loads(&k, env());
+        assert_eq!(loads.len(), 1);
+        let j = loads[0].to_json().to_compact();
+        let v = gpu_common::json::parse(&j).unwrap();
+        assert_eq!(v.get("pc").and_then(Json::as_u64), Some(0xE8));
+        assert_eq!(
+            v.get("class")
+                .and_then(|c| c.get("kind"))
+                .and_then(Json::as_str),
+            Some("strided")
+        );
+        assert_eq!(
+            v.get("working_set_bytes").and_then(Json::as_u64),
+            Some(2 << 20)
+        );
+    }
+}

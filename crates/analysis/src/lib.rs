@@ -1,0 +1,182 @@
+//! Static analysis for the kernel IR: verification, footprint/stride
+//! inference, and the SAP stride oracle.
+//!
+//! The crate bundles four passes over a built [`Kernel`]:
+//!
+//! 1. **structure** — structural validation (dependency shape, PC layout,
+//!    slot resolution); lives in [`gpu_kernel::verify`] so the simulator
+//!    facade can gate on it without depending on this crate.
+//! 2. **def-use** — liveness over the dependency DAG (dead instructions,
+//!    divergent barriers); also in [`gpu_kernel::verify`].
+//! 3. **table1** — static footprint and stride inference per load,
+//!    cross-checked against the paper's Table-I rows ([`footprint`]).
+//! 4. **sap-oracle** — replays each load's address stream through a fresh
+//!    SAP engine and compares what it learned against the static stride
+//!    class ([`oracle`]).
+//!
+//! [`analyze`] runs them all and merges the findings into one
+//! [`KernelReport`]; the `kernel-lint` binary renders that as text or JSON
+//! for the lint pipeline.
+
+pub mod fixtures;
+pub mod footprint;
+pub mod oracle;
+
+pub use footprint::{
+    footprint, infer_loads, table1_crosscheck, AddrInterval, Envelope, LoadSummary, StrideClass,
+    PASS_TABLE1,
+};
+pub use oracle::{run_oracle, LoadVerdict, OracleReport, MAX_SPURIOUS_FIRE_RATE};
+
+use gpu_common::diag::{Report, Severity};
+use gpu_common::json::Json;
+use gpu_kernel::Kernel;
+
+/// Full analysis outcome for one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelReport {
+    /// Kernel display name.
+    pub kernel: String,
+    /// Merged diagnostics from every static pass.
+    pub report: Report,
+    /// Per-load static summaries (stride class + footprint).
+    pub loads: Vec<LoadSummary>,
+    /// SAP oracle outcome, when requested.
+    pub oracle: Option<OracleReport>,
+}
+
+impl KernelReport {
+    /// `true` when no pass raised an error.
+    pub fn has_errors(&self) -> bool {
+        self.report.has_errors()
+            || self
+                .oracle
+                .as_ref()
+                .is_some_and(|o| o.misclassification_rate() > 0.0)
+    }
+
+    /// `true` when there are no errors and no warnings (notes are fine) and
+    /// the oracle — if run — found no misclassified load.
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean()
+            && self
+                .oracle
+                .as_ref()
+                .is_none_or(|o| o.misclassification_rate() == 0.0)
+    }
+
+    /// JSON object form: `kernel`, `errors`/`warnings`/`notes` counts,
+    /// `diagnostics`, `loads`, and `oracle` (null when not run).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kernel".into(), Json::str(self.kernel.clone())),
+            (
+                "errors".into(),
+                Json::from_u64(self.report.count(Severity::Error) as u64),
+            ),
+            (
+                "warnings".into(),
+                Json::from_u64(self.report.count(Severity::Warning) as u64),
+            ),
+            (
+                "notes".into(),
+                Json::from_u64(self.report.count(Severity::Note) as u64),
+            ),
+            (
+                "diagnostics".into(),
+                Json::Arr(
+                    self.report
+                        .diagnostics()
+                        .iter()
+                        .map(|d| d.to_json())
+                        .collect(),
+                ),
+            ),
+            (
+                "loads".into(),
+                Json::Arr(self.loads.iter().map(LoadSummary::to_json).collect()),
+            ),
+            (
+                "oracle".into(),
+                self.oracle
+                    .as_ref()
+                    .map_or(Json::Null, OracleReport::to_json),
+            ),
+        ])
+    }
+}
+
+/// Runs every static pass (and optionally the SAP oracle) on `kernel`.
+///
+/// `warp_size` feeds the structural passes (divergence checks) and the
+/// replay envelope; `with_oracle` gates pass 4, which is the only pass that
+/// executes model code rather than inspecting the IR.
+pub fn analyze(kernel: &Kernel, warp_size: u32, with_oracle: bool) -> KernelReport {
+    let env = Envelope {
+        warp_size,
+        ..Envelope::default()
+    };
+    let mut report = gpu_kernel::verify::verify_kernel(kernel, warp_size);
+    // Passes 3–4 dereference pattern slots and replay address streams, so
+    // they only run on structurally sound kernels; a dangling slot would
+    // otherwise panic instead of staying a reported diagnostic.
+    let (loads, oracle) = if report.has_errors() {
+        (Vec::new(), None)
+    } else {
+        let loads = infer_loads(kernel, env);
+        report.extend(table1_crosscheck(kernel, &loads));
+        let oracle = with_oracle.then(|| run_oracle(kernel, env));
+        (loads, oracle)
+    };
+    KernelReport {
+        kernel: kernel.name().to_owned(),
+        report,
+        loads,
+        oracle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_workloads::Benchmark;
+
+    #[test]
+    fn every_shipped_workload_lints_clean() {
+        for b in Benchmark::ALL {
+            let r = analyze(&b.kernel(), 32, false);
+            assert!(r.is_clean(), "{}: {:#?}", b.label(), r.report.diagnostics());
+        }
+    }
+
+    #[test]
+    fn analyze_with_oracle_attaches_a_report() {
+        let r = analyze(&Benchmark::Km.kernel(), 32, true);
+        let o = r.oracle.as_ref().map(|o| o.misclassification_rate());
+        assert_eq!(o, Some(0.0));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn kernel_report_json_shape() {
+        let r = analyze(&Benchmark::Bp.kernel(), 32, false);
+        let v = gpu_common::json::parse(&r.to_json().to_compact()).unwrap();
+        assert_eq!(v.get("kernel").and_then(Json::as_str), Some("BP"));
+        assert_eq!(v.get("errors").and_then(Json::as_u64), Some(0));
+        assert_eq!(v.get("warnings").and_then(Json::as_u64), Some(0));
+        assert!(v.get("diagnostics").and_then(Json::as_arr).is_some());
+        assert_eq!(
+            v.get("loads").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(r.loads.len())
+        );
+        assert!(!r.loads.is_empty());
+        assert!(matches!(v.get("oracle"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn defective_kernel_report_carries_errors() {
+        let r = analyze(&fixtures::divergent_barrier(), 32, false);
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+    }
+}

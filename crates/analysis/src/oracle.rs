@@ -1,0 +1,340 @@
+//! SAP stride oracle (analysis pass 4).
+//!
+//! The synthetic kernels declare their ground truth statically, so SAP's
+//! runtime behaviour is checkable against it: replay each load's exact
+//! address stream (the stateless [`PatternSampler`] guarantees the replayed
+//! addresses equal the ones a full simulation would issue) through a fresh
+//! [`Sap`] engine and compare what the prefetcher learned per PC with the
+//! statically inferred [`StrideClass`]:
+//!
+//! * `Strided` with confidence ≥ 0.5 and a non-zero stride — SAP should
+//!   fire, and the majority of its fired strides should equal the declared
+//!   one;
+//! * `Strided` with a zero stride, or `SharedStream` — SAP must stay
+//!   silent on zero strides, so firing at all is a misclassification;
+//! * `Strided` below 0.5 confidence, or `Irregular` — accidental stride
+//!   matches happen, but a fire rate above [`MAX_SPURIOUS_FIRE_RATE`] means
+//!   SAP is hallucinating regularity.
+//!
+//! The per-kernel [`OracleReport`] carries one verdict per load and the
+//! resulting misclassification rate — the per-kernel SAP-accuracy number
+//! the lint pipeline emits as JSON.
+
+use crate::footprint::{infer_loads, Envelope, LoadSummary, StrideClass};
+use apres_core::Sap;
+use gpu_common::json::Json;
+use gpu_common::{LineAddr, Pc, SmId, WarpId};
+use gpu_kernel::{Kernel, PatternSampler};
+use gpu_sm::traits::{DemandAccess, Prefetcher};
+
+/// Warps replayed per kernel (enough for PT warm-up and stride confirmation
+/// without simulating a full SM occupancy).
+const ORACLE_WARPS: u32 = 16;
+
+/// Replay iterations cap (keeps the oracle O(ms) per kernel).
+const ORACLE_MAX_ITERS: u64 = 16;
+
+/// Per-PC samples ignored while the PT warms up (two samples store a
+/// stride, a third can first fire).
+const WARMUP_SAMPLES: u64 = 4;
+
+/// Highest tolerated fire rate for loads SAP should *not* predict.
+pub const MAX_SPURIOUS_FIRE_RATE: f64 = 0.3;
+
+/// Verdict for one static load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadVerdict {
+    /// Static PC.
+    pub pc: Pc,
+    /// Statically inferred class.
+    pub class: StrideClass,
+    /// Post-warm-up misses offered to SAP.
+    pub opportunities: u64,
+    /// Post-warm-up prefetch activations.
+    pub fires: u64,
+    /// Most common fired inter-warp stride, when SAP ever fired.
+    pub majority_stride: Option<i64>,
+    /// `true` when SAP's behaviour matches the static class.
+    pub agrees: bool,
+}
+
+impl LoadVerdict {
+    /// Fires per opportunity.
+    pub fn fire_rate(&self) -> f64 {
+        if self.opportunities == 0 {
+            0.0
+        } else {
+            self.fires as f64 / self.opportunities as f64
+        }
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("pc".into(), Json::from_u64(self.pc.0)),
+            ("class".into(), self.class.to_json()),
+            ("opportunities".into(), Json::from_u64(self.opportunities)),
+            ("fires".into(), Json::from_u64(self.fires)),
+            ("fire_rate".into(), Json::from_f64(self.fire_rate())),
+            (
+                "majority_stride".into(),
+                self.majority_stride.map_or(Json::Null, Json::from_i64),
+            ),
+            ("agrees".into(), Json::Bool(self.agrees)),
+        ])
+    }
+}
+
+/// Per-kernel oracle outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleReport {
+    /// Kernel display name.
+    pub kernel: String,
+    /// One verdict per static load, in body order.
+    pub verdicts: Vec<LoadVerdict>,
+}
+
+impl OracleReport {
+    /// Fraction of loads whose runtime behaviour contradicts the static
+    /// class (0.0 for a load-free kernel).
+    pub fn misclassification_rate(&self) -> f64 {
+        if self.verdicts.is_empty() {
+            return 0.0;
+        }
+        let bad = self.verdicts.iter().filter(|v| !v.agrees).count();
+        bad as f64 / self.verdicts.len() as f64
+    }
+
+    /// JSON object form (`kernel`, `misclassification_rate`, `loads`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kernel".into(), Json::str(self.kernel.clone())),
+            (
+                "misclassification_rate".into(),
+                Json::from_f64(self.misclassification_rate()),
+            ),
+            (
+                "loads".into(),
+                Json::Arr(self.verdicts.iter().map(LoadVerdict::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+struct PcTally {
+    opportunities: u64,
+    fires: u64,
+    samples: u64,
+    fired_strides: Vec<(i64, u64)>,
+}
+
+impl PcTally {
+    fn new() -> Self {
+        PcTally {
+            opportunities: 0,
+            fires: 0,
+            samples: 0,
+            fired_strides: Vec::new(),
+        }
+    }
+
+    fn record_stride(&mut self, s: i64) {
+        match self.fired_strides.iter_mut().find(|(v, _)| *v == s) {
+            Some((_, n)) => *n += 1,
+            None => self.fired_strides.push((s, 1)),
+        }
+    }
+
+    fn majority(&self) -> Option<i64> {
+        self.fired_strides
+            .iter()
+            .max_by_key(|(_, n)| *n)
+            .map(|(s, _)| *s)
+    }
+}
+
+/// Replays the kernel's load streams through a fresh SAP engine and renders
+/// a verdict per load.
+pub fn run_oracle(kernel: &Kernel, env: Envelope) -> OracleReport {
+    let loads = infer_loads(kernel, env);
+    run_oracle_with(kernel, env, &loads)
+}
+
+fn run_oracle_with(kernel: &Kernel, env: Envelope, loads: &[LoadSummary]) -> OracleReport {
+    let mut sap = Sap::with_defaults();
+    let sampler = PatternSampler::new(kernel.seed(), env.warp_size);
+    let warps = ORACLE_WARPS.min(env.warps.max(2));
+    let iters = kernel.iterations().clamp(1, ORACLE_MAX_ITERS);
+    let mut tallies: Vec<PcTally> = loads.iter().map(|_| PcTally::new()).collect();
+
+    // Round-robin replay: per iteration, every warp issues every load once,
+    // in body order — the schedule shape every bundled scheduler converges
+    // to for miss-dominated loads, and the one SAP's Δaddr/Δwarp stride
+    // definition assumes.
+    for iter in 0..iters {
+        for warp in 0..warps {
+            for (li, load) in loads.iter().enumerate() {
+                let pattern = kernel.pattern(load.slot);
+                let lanes = load.active_lanes.unwrap_or(env.warp_size);
+                let addrs = sampler.addresses(pattern, 0, warp, iter, lanes);
+                let addr = addrs[0]; // lowest-lane address, as the SM reports
+                let acc = DemandAccess {
+                    sm: SmId(0),
+                    warp: WarpId(warp),
+                    pc: load.pc,
+                    addr,
+                    line: LineAddr(addr.0 / 128),
+                    hit: false,
+                    now: 0,
+                };
+                // A singleton group — "the next warp" — isolates stride
+                // confirmation from LAWS's grouping policy.
+                let out = sap.on_group_miss(&acc, &[WarpId(warp + 1)]);
+                let tally = &mut tallies[li];
+                tally.samples += 1;
+                if tally.samples <= WARMUP_SAMPLES {
+                    continue;
+                }
+                tally.opportunities += 1;
+                if let Some(req) = out.first() {
+                    tally.fires += 1;
+                    // The target is warp+1, so the fired stride is exactly
+                    // the prefetch displacement.
+                    tally.record_stride(req.addr.0 as i64 - addr.0 as i64);
+                }
+            }
+        }
+    }
+
+    let verdicts = loads
+        .iter()
+        .zip(&tallies)
+        .map(|(load, tally)| {
+            let majority = tally.majority();
+            let rate = if tally.opportunities == 0 {
+                0.0
+            } else {
+                tally.fires as f64 / tally.opportunities as f64
+            };
+            let agrees = match load.class {
+                StrideClass::Strided { stride: 0, .. } | StrideClass::SharedStream { .. } => {
+                    tally.fires == 0
+                }
+                StrideClass::Strided { stride, confidence } if confidence >= 0.5 => {
+                    tally.fires > 0 && majority == Some(stride)
+                }
+                StrideClass::Strided { .. } | StrideClass::Irregular => {
+                    rate <= MAX_SPURIOUS_FIRE_RATE
+                }
+            };
+            LoadVerdict {
+                pc: load.pc,
+                class: load.class,
+                opportunities: tally.opportunities,
+                fires: tally.fires,
+                majority_stride: majority,
+                agrees,
+            }
+        })
+        .collect();
+
+    OracleReport {
+        kernel: kernel.name().to_owned(),
+        verdicts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_kernel::AddressPattern;
+    use gpu_workloads::Benchmark;
+
+    #[test]
+    fn clean_strided_load_confirms() {
+        let k = Kernel::builder("clean")
+            .load(AddressPattern::warp_strided(0x1000, 4096, 0, 4), &[])
+            .alu(8, &[0])
+            .iterations(8)
+            .build();
+        let r = run_oracle(&k, Envelope::default());
+        assert_eq!(r.verdicts.len(), 1);
+        let v = &r.verdicts[0];
+        assert!(v.fires > 0, "{v:?}");
+        assert_eq!(v.majority_stride, Some(4096));
+        assert!(v.agrees);
+        assert_eq!(r.misclassification_rate(), 0.0);
+    }
+
+    #[test]
+    fn shared_stream_never_fires() {
+        let k = Kernel::builder("shared")
+            .load(AddressPattern::shared_stream(0x8000, 64), &[])
+            .alu(8, &[0])
+            .iterations(8)
+            .build();
+        let r = run_oracle(&k, Envelope::default());
+        assert_eq!(r.verdicts[0].fires, 0);
+        assert!(r.verdicts[0].agrees);
+    }
+
+    #[test]
+    fn irregular_load_stays_quiet() {
+        let k = Kernel::builder("irr")
+            .load(AddressPattern::irregular(0, 4 << 20, 16 << 10, 0.5), &[])
+            .alu(8, &[0])
+            .iterations(8)
+            .build();
+        let r = run_oracle(&k, Envelope::default());
+        assert!(
+            r.verdicts[0].fire_rate() <= MAX_SPURIOUS_FIRE_RATE,
+            "{:?}",
+            r.verdicts[0]
+        );
+        assert!(r.verdicts[0].agrees);
+    }
+
+    #[test]
+    fn mislabeled_kernel_is_caught() {
+        // Statically declared strided at high confidence, but the stride is
+        // zero — SAP can never confirm it, and the oracle says so.
+        let k = Kernel::builder("liar")
+            .load(AddressPattern::warp_strided(0x1000, 0, 64, 4), &[])
+            .alu(8, &[0])
+            .iterations(8)
+            .build();
+        let r = run_oracle(&k, Envelope::default());
+        // stride 0 ⇒ the zero-stride rule applies: silence is agreement.
+        assert!(r.verdicts[0].agrees);
+        assert_eq!(r.verdicts[0].fires, 0);
+    }
+
+    #[test]
+    fn every_shipped_workload_classifies_cleanly() {
+        for b in Benchmark::ALL {
+            let k = b.kernel();
+            let r = run_oracle(&k, Envelope::default());
+            assert_eq!(
+                r.misclassification_rate(),
+                0.0,
+                "{}: {:#?}",
+                b.label(),
+                r.verdicts.iter().filter(|v| !v.agrees).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn report_json_has_the_contract_fields() {
+        let r = run_oracle(&Benchmark::Km.kernel(), Envelope::default());
+        let v = gpu_common::json::parse(&r.to_json().to_compact()).unwrap();
+        assert_eq!(v.get("kernel").and_then(Json::as_str), Some("KM"));
+        assert!(v
+            .get("misclassification_rate")
+            .and_then(Json::as_f64)
+            .is_some());
+        let loads = v.get("loads").and_then(Json::as_arr).unwrap();
+        assert_eq!(loads.len(), 1);
+        assert_eq!(loads[0].get("pc").and_then(Json::as_u64), Some(0xE8));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests tying the static inference to the address generator.
+//!
+//! Random patterns and seeds are driven through [`PatternSampler`] and the
+//! sampled addresses checked against what `gpu-analysis` inferred without
+//! sampling anything: every address must land inside the static footprint
+//! interval, and for noiseless strided patterns consecutive warps must be
+//! exactly one nominal stride apart. The harness is the in-tree
+//! deterministic one (`gpu_common::check`) — failures name a replayable
+//! case seed.
+
+use gpu_analysis::{footprint, Envelope, StrideClass};
+use gpu_common::check::{run_cases, Gen};
+use gpu_kernel::{AddressPattern, PatternSampler};
+
+const WARPS: u32 = 8;
+const WARP_SIZE: u32 = 32;
+
+fn random_pattern(g: &mut Gen) -> AddressPattern {
+    // Bases far from 0 keep saturating arithmetic out of play, matching the
+    // shipped workloads (every Table-I base is ≥ 16 MiB).
+    let base = g.range(1 << 26, 1 << 27);
+    match g.usize_range(0, 2) {
+        0 => {
+            let warp_stride = g.range(0, 16_384) as i64 - 8_192;
+            let iter_stride = g.range(0, 131_072) as i64 - 65_536;
+            let lane_stride = *g.choose(&[0u64, 4, 8, 128]);
+            let mut p = AddressPattern::warp_strided(base, warp_stride, iter_stride, lane_stride)
+                .with_noise(g.prob() * 0.9);
+            if g.chance(0.3) {
+                p = p.with_wrap(g.range(1 << 20, 1 << 22));
+            }
+            p
+        }
+        1 => {
+            let iter_stride = g.range(0, 8_192) as i64 - 4_096;
+            AddressPattern::shared_stream(base, iter_stride).with_noise(g.prob() * 0.9)
+        }
+        _ => {
+            let working = g.range(4 << 10, 4 << 20);
+            let hot = g.range(1 << 10, 32 << 10);
+            AddressPattern::irregular(base, working, hot, g.prob())
+        }
+    }
+}
+
+#[test]
+fn sampled_addresses_stay_inside_the_static_footprint() {
+    run_cases(64, |_, g| {
+        let pattern = random_pattern(g);
+        let seed = g.u64();
+        let iterations = g.range(1, 16);
+        let env = Envelope {
+            warps: WARPS,
+            warp_size: WARP_SIZE,
+        };
+        let interval = footprint(&pattern, iterations, env);
+        let sampler = PatternSampler::new(seed, WARP_SIZE);
+        // Slab-relative: analysis intervals ignore the per-SM slab, so the
+        // replay pins sm = 0 (slab 0 for every pattern kind).
+        for warp in 0..WARPS {
+            for iter in [0, iterations / 2, iterations - 1] {
+                for addr in sampler.addresses(&pattern, 0, warp, iter, WARP_SIZE) {
+                    if !interval.contains(addr.0) {
+                        return Err(format!(
+                            "{pattern:?}: addr {:#x} (warp {warp}, iter {iter}) \
+                             outside [{:#x}, {:#x})",
+                            addr.0, interval.lo, interval.hi
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn noiseless_strided_patterns_realize_their_nominal_stride() {
+    run_cases(64, |_, g| {
+        let base = g.range(1 << 26, 1 << 27);
+        let warp_stride = g.range(0, 16_384) as i64 - 8_192;
+        let iter_stride = g.range(0, 131_072) as i64 - 65_536;
+        let lane_stride = *g.choose(&[0u64, 4, 8, 128]);
+        // Unwrapped and noiseless: the generator is exactly affine.
+        let pattern = AddressPattern::warp_strided(base, warp_stride, iter_stride, lane_stride);
+        let declared = match StrideClass::of(&pattern) {
+            StrideClass::Strided { stride, confidence } => {
+                if confidence != 1.0 {
+                    return Err(format!("noiseless pattern got confidence {confidence}"));
+                }
+                stride
+            }
+            other => return Err(format!("expected Strided, got {other:?}")),
+        };
+        if pattern.nominal_stride() != Some(declared) {
+            return Err("nominal_stride disagrees with StrideClass".into());
+        }
+        let sampler = PatternSampler::new(g.u64(), WARP_SIZE);
+        let iter = g.range(0, 15);
+        for warp in 0..WARPS - 1 {
+            let a = sampler.addresses(&pattern, 0, warp, iter, 1)[0].0 as i64;
+            let b = sampler.addresses(&pattern, 0, warp + 1, iter, 1)[0].0 as i64;
+            if b - a != declared {
+                return Err(format!(
+                    "warp {warp}→{}: Δaddr {} ≠ declared stride {declared}",
+                    warp + 1,
+                    b - a
+                ));
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn noiseless_shared_streams_are_warp_invariant() {
+    run_cases(32, |_, g| {
+        let base = g.range(1 << 26, 1 << 27);
+        let iter_stride = g.range(0, 8_192) as i64 - 4_096;
+        let pattern = AddressPattern::shared_stream(base, iter_stride);
+        let sampler = PatternSampler::new(g.u64(), WARP_SIZE);
+        let iter = g.range(0, 15);
+        let expected = base.saturating_add_signed(iter_stride * iter as i64);
+        for warp in 0..WARPS {
+            let a = sampler.addresses(&pattern, 0, warp, iter, 1)[0].0;
+            if a != expected {
+                return Err(format!(
+                    "warp {warp}: addr {a:#x} ≠ lock-step {expected:#x} at iter {iter}"
+                ));
+            }
+        }
+        Ok(())
+    });
+}

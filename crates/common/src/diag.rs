@@ -1,0 +1,256 @@
+//! Static-analysis diagnostics.
+//!
+//! The kernel-IR verifier (`gpu_kernel::verify`) and the higher analysis
+//! passes (`gpu-analysis`) report their findings as typed [`Diagnostic`]s
+//! instead of panics or free-form strings, so tooling can gate on severity
+//! (`kernel-lint -D warnings`) and tests can match on the pass that fired.
+//! The taxonomy deliberately mirrors compiler diagnostics:
+//!
+//! * [`Severity::Error`] — the kernel is unrunnable or would silently lie
+//!   (cyclic deps, dangling pattern slots, divergent barriers, a declared
+//!   Table-I stride the pattern cannot produce). Errors gate simulation in
+//!   the `apres-core` facade via [`crate::SimError::KernelValidation`].
+//! * [`Severity::Warning`] — the kernel runs but skews what it claims to
+//!   model (dead loads inflate %Load, misaligned PCs, unused patterns).
+//!   Warnings fail `just lint-kernels` (deny-warnings semantics) but do not
+//!   gate simulation.
+//! * [`Severity::Note`] — benign observations (terminal ALU chains whose
+//!   value models the kernel's output).
+//!
+//! Serialisation goes through the in-tree [`crate::json`] module so reports
+//! round-trip in hermetic builds.
+
+use crate::json::Json;
+use crate::Pc;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Benign observation; never gates anything.
+    Note,
+    /// Model-skewing defect; gates `kernel-lint -D warnings`.
+    Warning,
+    /// Unrunnable or dishonest kernel; gates simulation.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finding of one analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Which pass found it (e.g. `"structure"`, `"def-use"`, `"table1"`).
+    pub pass: &'static str,
+    /// The static instruction it anchors to, when one exists.
+    pub pc: Option<Pc>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(
+        severity: Severity,
+        pass: &'static str,
+        pc: Option<Pc>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            pass,
+            pc,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for an error.
+    pub fn error(pass: &'static str, pc: Option<Pc>, message: impl Into<String>) -> Self {
+        Self::new(Severity::Error, pass, pc, message)
+    }
+
+    /// Shorthand for a warning.
+    pub fn warning(pass: &'static str, pc: Option<Pc>, message: impl Into<String>) -> Self {
+        Self::new(Severity::Warning, pass, pc, message)
+    }
+
+    /// Shorthand for a note.
+    pub fn note(pass: &'static str, pc: Option<Pc>, message: impl Into<String>) -> Self {
+        Self::new(Severity::Note, pass, pc, message)
+    }
+
+    /// JSON object form (`severity`, `pass`, `pc`, `message`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("severity".into(), Json::str(self.severity.label())),
+            ("pass".into(), Json::str(self.pass)),
+            (
+                "pc".into(),
+                self.pc.map_or(Json::Null, |p| Json::from_u64(p.0)),
+            ),
+            ("message".into(), Json::str(self.message.clone())),
+        ])
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pc {
+            Some(pc) => write!(
+                f,
+                "{}[{}] at pc {:#x}: {}",
+                self.severity, self.pass, pc.0, self.message
+            ),
+            None => write!(f, "{}[{}]: {}", self.severity, self.pass, self.message),
+        }
+    }
+}
+
+/// A collection of diagnostics from one or more passes over one kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every diagnostic of another report.
+    pub fn extend(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All diagnostics, in pass order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of diagnostics at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// `true` when at least one [`Severity::Error`] is present.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// `true` when no error or warning is present (notes allowed).
+    pub fn is_clean(&self) -> bool {
+        !self.has_errors() && self.count(Severity::Warning) == 0
+    }
+
+    /// Converts the report's errors into a gating [`crate::SimError`]
+    /// (`None` when there are no errors).
+    pub fn to_sim_error(&self, kernel: impl Into<String>) -> Option<crate::SimError> {
+        if !self.has_errors() {
+            return None;
+        }
+        Some(crate::SimError::KernelValidation {
+            kernel: kernel.into(),
+            diagnostics: self
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .cloned()
+                .collect(),
+        })
+    }
+
+    /// JSON array of the diagnostics.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.diagnostics.iter().map(Diagnostic::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_note_warning_error() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn display_names_pass_and_pc() {
+        let d = Diagnostic::error("structure", Some(Pc(0x110)), "dep 3 is forward");
+        assert_eq!(
+            d.to_string(),
+            "error[structure] at pc 0x110: dep 3 is forward"
+        );
+        let d = Diagnostic::warning("def-use", None, "pattern 2 never referenced");
+        assert_eq!(
+            d.to_string(),
+            "warning[def-use]: pattern 2 never referenced"
+        );
+    }
+
+    #[test]
+    fn report_counts_and_gates() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        assert!(r.to_sim_error("K").is_none());
+        r.push(Diagnostic::note("def-use", None, "terminal alu"));
+        assert!(r.is_clean());
+        r.push(Diagnostic::warning(
+            "structure",
+            Some(Pc(8)),
+            "pc misaligned",
+        ));
+        assert!(!r.is_clean());
+        assert!(!r.has_errors());
+        r.push(Diagnostic::error("structure", Some(Pc(8)), "self-dep"));
+        assert!(r.has_errors());
+        let err = r.to_sim_error("K").expect("errors gate");
+        assert_eq!(err.class(), "kernel-validation");
+        assert!(err.to_string().contains("self-dep"), "{err}");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut r = Report::new();
+        r.push(Diagnostic::error(
+            "table1",
+            Some(Pc(0xE8)),
+            "stride mismatch",
+        ));
+        r.push(Diagnostic::note("def-use", None, "ok"));
+        let text = r.to_json().to_compact();
+        let parsed = crate::json::parse(&text).expect("valid json");
+        let arr = parsed.as_arr().expect("array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("severity").and_then(Json::as_str), Some("error"));
+        assert_eq!(arr[0].get("pc").and_then(Json::as_u64), Some(0xE8));
+        assert_eq!(arr[1].get("pc"), Some(&Json::Null));
+    }
+}

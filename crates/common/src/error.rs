@@ -169,6 +169,15 @@ pub enum SimError {
         /// Parser message, with position where available.
         message: String,
     },
+    /// The static kernel-IR verifier rejected the kernel before any cycle
+    /// was simulated (cyclic/forward deps, dangling pattern slots, divergent
+    /// barriers, …). Carries the error-level diagnostics verbatim.
+    KernelValidation {
+        /// Kernel display name.
+        kernel: String,
+        /// The error-level findings (warnings and notes never gate).
+        diagnostics: Vec<crate::diag::Diagnostic>,
+    },
 }
 
 impl SimError {
@@ -181,6 +190,7 @@ impl SimError {
             SimError::InvariantViolation { .. } => "invariant-violation",
             SimError::WatchdogTimeout { .. } => "watchdog-timeout",
             SimError::Parse { .. } => "parse",
+            SimError::KernelValidation { .. } => "kernel-validation",
         }
     }
 
@@ -228,6 +238,23 @@ impl fmt::Display for SimError {
             ),
             SimError::Parse { context, message } => {
                 write!(f, "parse error in {context}: {message}")
+            }
+            SimError::KernelValidation {
+                kernel,
+                diagnostics,
+            } => {
+                write!(
+                    f,
+                    "kernel {kernel:?} failed static validation ({} error(s))",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics.iter().take(4) {
+                    write!(f, "; {d}")?;
+                }
+                if diagnostics.len() > 4 {
+                    write!(f, "; … {} more", diagnostics.len() - 4)?;
+                }
+                Ok(())
             }
         }
     }

@@ -19,6 +19,7 @@
 
 pub mod check;
 pub mod config;
+pub mod diag;
 pub mod error;
 pub mod fault;
 pub mod ids;
@@ -27,6 +28,7 @@ pub mod rng;
 pub mod stats;
 
 pub use config::GpuConfig;
+pub use diag::{Diagnostic, Report, Severity};
 pub use error::{DeadlockDiagnosis, SimError, SimResult, StallReason, StalledWarp};
 pub use fault::{FaultCounters, FaultPlan, FaultState};
 pub use ids::{Addr, Cycle, LineAddr, Pc, SmId, WarpId};

@@ -212,10 +212,18 @@ impl Simulation {
     /// # Errors
     ///
     /// [`gpu_common::SimError::ConfigValidation`] for a bad configuration,
+    /// [`gpu_common::SimError::KernelValidation`] when the static verifier
+    /// ([`gpu_kernel::verify`]) finds an error-level defect in the kernel IR
+    /// (cyclic deps, dangling pattern slots, divergent barriers, …),
     /// `WatchdogTimeout` when forward progress stops for a whole watchdog
     /// window, and `InvariantViolation` when the drain-time conservation
     /// audit fails.
     pub fn run(&self) -> SimResult<RunResult> {
+        let report =
+            gpu_kernel::verify::verify_kernel(&self.kernel, self.cfg.core.warp_size as u32);
+        if let Some(err) = report.to_sim_error(self.kernel.name()) {
+            return Err(err);
+        }
         let cfg = self.cfg.clone();
         let sched = self.scheduler;
         let pf = self.prefetcher;
@@ -249,10 +257,7 @@ mod tests {
         // Large inter-warp stride, grid-stride loop, no reuse: the SAP
         // sweet spot.
         Kernel::builder("strided")
-            .load(
-                AddressPattern::warp_strided(0, 4352, 4352 * 64, 4),
-                &[],
-            )
+            .load(AddressPattern::warp_strided(0, 4352, 4352 * 64, 4), &[])
             .alu(8, &[0])
             .iterations(24)
             .build()
@@ -300,7 +305,11 @@ mod tests {
 
     #[test]
     fn sap_prefetches_on_strided_kernel() {
-        let r = run(strided_kernel(), SchedulerChoice::Laws, PrefetcherChoice::Sap);
+        let r = run(
+            strided_kernel(),
+            SchedulerChoice::Laws,
+            PrefetcherChoice::Sap,
+        );
         assert!(!r.timed_out);
         assert!(r.prefetch.issued > 0, "SAP issued no prefetches");
         assert!(
@@ -312,8 +321,16 @@ mod tests {
 
     #[test]
     fn apres_beats_baseline_on_strided_kernel() {
-        let base = run(strided_kernel(), SchedulerChoice::Lrr, PrefetcherChoice::None);
-        let apres = run(strided_kernel(), SchedulerChoice::Laws, PrefetcherChoice::Sap);
+        let base = run(
+            strided_kernel(),
+            SchedulerChoice::Lrr,
+            PrefetcherChoice::None,
+        );
+        let apres = run(
+            strided_kernel(),
+            SchedulerChoice::Laws,
+            PrefetcherChoice::Sap,
+        );
         assert!(
             apres.speedup_over(&base) > 1.0,
             "APRES {:.3} vs baseline {:.3} IPC",
@@ -324,8 +341,16 @@ mod tests {
 
     #[test]
     fn laws_helps_locality_kernel_hit_rate() {
-        let base = run(locality_kernel(), SchedulerChoice::Lrr, PrefetcherChoice::None);
-        let laws = run(locality_kernel(), SchedulerChoice::Laws, PrefetcherChoice::None);
+        let base = run(
+            locality_kernel(),
+            SchedulerChoice::Lrr,
+            PrefetcherChoice::None,
+        );
+        let laws = run(
+            locality_kernel(),
+            SchedulerChoice::Laws,
+            PrefetcherChoice::None,
+        );
         assert!(
             laws.l1.hit_after_hit_ratio() >= base.l1.hit_after_hit_ratio() * 0.95,
             "LAWS hit-after-hit {:.3} vs LRR {:.3}",
@@ -336,7 +361,11 @@ mod tests {
 
     #[test]
     fn str_prefetcher_works_under_any_scheduler() {
-        let r = run(strided_kernel(), SchedulerChoice::Ccws, PrefetcherChoice::Str);
+        let r = run(
+            strided_kernel(),
+            SchedulerChoice::Ccws,
+            PrefetcherChoice::Str,
+        );
         assert!(!r.timed_out);
         assert!(r.prefetch.issued > 0);
     }
@@ -351,6 +380,29 @@ mod tests {
             .err()
             .unwrap();
         assert_eq!(err.class(), "config-validation");
+    }
+
+    #[test]
+    fn defective_kernel_rejected_before_any_cycle() {
+        use gpu_common::{Pc, SimError};
+        use gpu_kernel::{Op, StaticInstr};
+        // Divergent barrier: only the watchdog could catch this at runtime;
+        // the static verifier must refuse to start the run at all.
+        let mut barrier = StaticInstr::new(Pc(0x108), Op::Barrier, vec![0]);
+        barrier.active_lanes = Some(4);
+        let k = Kernel::builder("divergent-barrier")
+            .raw_instr(StaticInstr::new(Pc(0x100), Op::Alu { latency: 8 }, vec![]))
+            .raw_instr(barrier)
+            .build();
+        let err = Simulation::new(k)
+            .config(gpu_common::GpuConfig::small_test())
+            .run()
+            .expect_err("divergent barrier must gate");
+        assert_eq!(err.class(), "kernel-validation");
+        assert!(
+            matches!(err, SimError::KernelValidation { ref diagnostics, .. } if !diagnostics.is_empty())
+        );
+        assert!(err.to_string().contains("deadlock"), "{err}");
     }
 
     #[test]
@@ -386,8 +438,16 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = run(strided_kernel(), SchedulerChoice::Laws, PrefetcherChoice::Sap);
-        let b = run(strided_kernel(), SchedulerChoice::Laws, PrefetcherChoice::Sap);
+        let a = run(
+            strided_kernel(),
+            SchedulerChoice::Laws,
+            PrefetcherChoice::Sap,
+        );
+        let b = run(
+            strided_kernel(),
+            SchedulerChoice::Laws,
+            PrefetcherChoice::Sap,
+        );
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.l1, b.l1);
         assert_eq!(a.prefetch, b.prefetch);

@@ -31,6 +31,7 @@ mod instr;
 mod kernel;
 mod pattern;
 pub mod simt;
+pub mod verify;
 mod warp;
 
 pub use instr::{LoadSlot, Op, StaticInstr};

@@ -10,8 +10,8 @@
 //! [`SimError::Parse`], never a panic.
 
 use gpu_common::json::Json;
-use gpu_common::{SimError, SimResult};
-use gpu_kernel::{AddressPattern, Kernel, Op, StaticInstr};
+use gpu_common::{Pc, SimError, SimResult};
+use gpu_kernel::{AddressPattern, Kernel, LoadSlot, Op, StaticInstr};
 
 /// Serialisable form of one address pattern.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,9 +23,9 @@ pub enum PatternSpec {
         /// Per-iteration advance in bytes.
         iter_stride: i64,
         /// Deviation probability.
-            noise: f64,
+        noise: f64,
         /// Region deviations land in.
-            region_bytes: u64,
+        region_bytes: u64,
     },
     /// See [`AddressPattern::WarpStrided`].
     WarpStrided {
@@ -34,13 +34,13 @@ pub enum PatternSpec {
         /// Bytes between consecutive warp IDs.
         warp_stride: i64,
         /// Bytes advanced per loop iteration.
-            iter_stride: i64,
+        iter_stride: i64,
         /// Bytes between consecutive lanes.
-            lane_stride: u64,
+        lane_stride: u64,
         /// Optional cyclic working-set wrap.
-            wrap_bytes: Option<u64>,
+        wrap_bytes: Option<u64>,
         /// Deviation probability.
-            noise: f64,
+        noise: f64,
     },
     /// See [`AddressPattern::Irregular`].
     Irregular {
@@ -53,7 +53,7 @@ pub enum PatternSpec {
         /// Hot-region probability.
         hot_prob: f64,
         /// Bytes between consecutive lanes.
-            lane_spread: u64,
+        lane_spread: u64,
     },
 }
 
@@ -342,30 +342,36 @@ pub enum InstrSpec {
         /// Producer latency in cycles.
         latency: u64,
         /// Body indices this instruction consumes.
-            deps: Vec<usize>,
+        deps: Vec<usize>,
+        /// Explicit PC (auto-assigned when absent).
+        pc: Option<u64>,
     },
     /// Global load; `pattern` drives its addresses.
     Load {
         /// Address pattern.
         pattern: PatternSpec,
         /// Body indices this instruction consumes.
-            deps: Vec<usize>,
+        deps: Vec<usize>,
         /// Explicit PC (auto-assigned when absent).
-            pc: Option<u64>,
+        pc: Option<u64>,
         /// Active lanes (< warp size models divergence).
-            active_lanes: Option<u32>,
+        active_lanes: Option<u32>,
     },
     /// Global store.
     Store {
         /// Address pattern.
         pattern: PatternSpec,
         /// Body indices this instruction consumes.
-            deps: Vec<usize>,
+        deps: Vec<usize>,
+        /// Explicit PC (auto-assigned when absent).
+        pc: Option<u64>,
     },
     /// Block-wide barrier.
     Barrier {
         /// Body indices this instruction consumes.
-            deps: Vec<usize>,
+        deps: Vec<usize>,
+        /// Explicit PC (auto-assigned when absent).
+        pc: Option<u64>,
     },
 }
 
@@ -395,7 +401,12 @@ impl KernelSpec {
             .iterations(self.iterations);
         for ins in &self.body {
             b = match ins {
-                InstrSpec::Alu { latency, deps } => b.alu(*latency, deps),
+                InstrSpec::Alu { latency, deps, pc } => {
+                    if let Some(pc) = pc {
+                        b = b.at_pc(*pc);
+                    }
+                    b.alu(*latency, deps)
+                }
                 InstrSpec::Load {
                     pattern,
                     deps,
@@ -410,11 +421,83 @@ impl KernelSpec {
                         None => b.load(pattern.to_pattern(), deps),
                     }
                 }
-                InstrSpec::Store { pattern, deps } => b.store(pattern.to_pattern(), deps),
-                InstrSpec::Barrier { deps } => b.barrier(deps),
+                InstrSpec::Store { pattern, deps, pc } => {
+                    if let Some(pc) = pc {
+                        b = b.at_pc(*pc);
+                    }
+                    b.store(pattern.to_pattern(), deps)
+                }
+                InstrSpec::Barrier { deps, pc } => {
+                    if let Some(pc) = pc {
+                        b = b.at_pc(*pc);
+                    }
+                    b.barrier(deps)
+                }
             };
         }
         b.build()
+    }
+
+    /// Lowers the spec into a runnable [`Kernel`], returning a typed error
+    /// instead of panicking on malformed bodies.
+    ///
+    /// The lowering is deferred — instructions are assembled verbatim (with
+    /// the builder's PC auto-assignment rule for absent `pc` fields) and the
+    /// full static verifier runs once at the end, so forward deps, dangling
+    /// slots, duplicate PCs, and divergent barriers all surface as
+    /// [`SimError::KernelValidation`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::KernelValidation`] carrying the verifier's error-level
+    /// diagnostics.
+    pub fn try_build(&self) -> SimResult<Kernel> {
+        let mut b = Kernel::builder(self.name.clone())
+            .seed(self.seed)
+            .iterations(self.iterations);
+        let mut next_slot = 0usize;
+        for (i, ins) in self.body.iter().enumerate() {
+            let auto = 0x100 + (i as u64) * 8;
+            b = match ins {
+                InstrSpec::Alu { latency, deps, pc } => b.raw_instr(StaticInstr::new(
+                    Pc(pc.unwrap_or(auto)),
+                    Op::Alu { latency: *latency },
+                    deps.clone(),
+                )),
+                InstrSpec::Load {
+                    pattern,
+                    deps,
+                    pc,
+                    active_lanes,
+                } => {
+                    let slot = LoadSlot(next_slot);
+                    next_slot += 1;
+                    let mut raw = StaticInstr::new(
+                        Pc(pc.unwrap_or(auto)),
+                        Op::LoadGlobal { slot },
+                        deps.clone(),
+                    );
+                    raw.active_lanes = *active_lanes;
+                    b.add_pattern(pattern.to_pattern()).raw_instr(raw)
+                }
+                InstrSpec::Store { pattern, deps, pc } => {
+                    let slot = LoadSlot(next_slot);
+                    next_slot += 1;
+                    b.add_pattern(pattern.to_pattern())
+                        .raw_instr(StaticInstr::new(
+                            Pc(pc.unwrap_or(auto)),
+                            Op::StoreGlobal { slot },
+                            deps.clone(),
+                        ))
+                }
+                InstrSpec::Barrier { deps, pc } => b.raw_instr(StaticInstr::new(
+                    Pc(pc.unwrap_or(auto)),
+                    Op::Barrier,
+                    deps.clone(),
+                )),
+            };
+        }
+        b.try_build()
     }
 
     /// Lifts a built kernel back into a spec (PCs preserved explicitly).
@@ -426,6 +509,7 @@ impl KernelSpec {
                 Op::Alu { latency } => InstrSpec::Alu {
                     latency,
                     deps: ins.deps.clone(),
+                    pc: Some(ins.pc.0),
                 },
                 Op::LoadGlobal { slot } => InstrSpec::Load {
                     pattern: PatternSpec::from(kernel.pattern(slot)),
@@ -436,9 +520,11 @@ impl KernelSpec {
                 Op::StoreGlobal { slot } => InstrSpec::Store {
                     pattern: PatternSpec::from(kernel.pattern(slot)),
                     deps: ins.deps.clone(),
+                    pc: Some(ins.pc.0),
                 },
                 Op::Barrier => InstrSpec::Barrier {
                     deps: ins.deps.clone(),
+                    pc: Some(ins.pc.0),
                 },
             })
             .collect();
@@ -496,10 +582,11 @@ impl InstrSpec {
             Json::Arr(deps.iter().map(|&d| Json::from_u64(d as u64)).collect())
         }
         match self {
-            InstrSpec::Alu { latency, deps } => obj(vec![
+            InstrSpec::Alu { latency, deps, pc } => obj(vec![
                 ("op", Json::str("alu")),
                 ("latency", Json::from_u64(*latency)),
                 ("deps", deps_json(deps)),
+                ("pc", opt_json_u64(*pc)),
             ]),
             InstrSpec::Load {
                 pattern,
@@ -511,19 +598,18 @@ impl InstrSpec {
                 ("pattern", pattern.to_json_value()),
                 ("deps", deps_json(deps)),
                 ("pc", opt_json_u64(*pc)),
-                (
-                    "active_lanes",
-                    opt_json_u64(active_lanes.map(u64::from)),
-                ),
+                ("active_lanes", opt_json_u64(active_lanes.map(u64::from))),
             ]),
-            InstrSpec::Store { pattern, deps } => obj(vec![
+            InstrSpec::Store { pattern, deps, pc } => obj(vec![
                 ("op", Json::str("store")),
                 ("pattern", pattern.to_json_value()),
                 ("deps", deps_json(deps)),
+                ("pc", opt_json_u64(*pc)),
             ]),
-            InstrSpec::Barrier { deps } => obj(vec![
+            InstrSpec::Barrier { deps, pc } => obj(vec![
                 ("op", Json::str("barrier")),
                 ("deps", deps_json(deps)),
+                ("pc", opt_json_u64(*pc)),
             ]),
         }
     }
@@ -533,6 +619,7 @@ impl InstrSpec {
             "alu" => Ok(InstrSpec::Alu {
                 latency: req_u64(v, "latency")?,
                 deps: deps_field(v, "deps")?,
+                pc: opt_some_u64(v, "pc")?,
             }),
             "load" => Ok(InstrSpec::Load {
                 pattern: PatternSpec::from_json_value(
@@ -542,8 +629,7 @@ impl InstrSpec {
                 pc: opt_some_u64(v, "pc")?,
                 active_lanes: opt_some_u64(v, "active_lanes")?
                     .map(|n| {
-                        u32::try_from(n)
-                            .map_err(|_| perr(format!("active_lanes {n} out of range")))
+                        u32::try_from(n).map_err(|_| perr(format!("active_lanes {n} out of range")))
                     })
                     .transpose()?,
             }),
@@ -552,9 +638,11 @@ impl InstrSpec {
                     field(v, "pattern").ok_or_else(|| perr("store missing \"pattern\""))?,
                 )?,
                 deps: deps_field(v, "deps")?,
+                pc: opt_some_u64(v, "pc")?,
             }),
             "barrier" => Ok(InstrSpec::Barrier {
                 deps: deps_field(v, "deps")?,
+                pc: opt_some_u64(v, "pc")?,
             }),
             other => Err(perr(format!("unknown op {other:?}"))),
         }
@@ -589,6 +677,7 @@ mod tests {
                 InstrSpec::Alu {
                     latency: 8,
                     deps: vec![0],
+                    pc: None,
                 },
             ],
         };
@@ -601,24 +690,43 @@ mod tests {
     }
 
     #[test]
-    fn every_benchmark_round_trips_through_spec() {
+    fn every_benchmark_round_trips_through_spec_exactly() {
+        // `from_kernel` pins every instruction's PC explicitly, so
+        // `to_json` → `from_json` → `build` must reproduce the kernel
+        // bit-for-bit (PartialEq covers body, patterns, iterations, seed).
         for b in Benchmark::ALL {
             let k = b.kernel();
             let spec = KernelSpec::from_kernel(&k);
             let json = spec.to_json();
             let rebuilt = KernelSpec::from_json(&json).unwrap().build();
-            // Loads keep PCs and patterns; ALU/store PCs are re-assigned,
-            // so compare load sites and patterns rather than whole bodies.
-            let a: Vec<_> = k.load_sites().collect();
-            let c: Vec<_> = rebuilt.load_sites().collect();
-            assert_eq!(a.len(), c.len(), "{}", b.label());
-            for ((_, pa, sa), (_, pb, sb)) in a.iter().zip(&c) {
-                assert_eq!(pa, pb, "{}", b.label());
-                assert_eq!(k.pattern(*sa), rebuilt.pattern(*sb), "{}", b.label());
-            }
-            assert_eq!(k.iterations(), rebuilt.iterations());
-            assert_eq!(k.seed(), rebuilt.seed());
+            assert_eq!(k, rebuilt, "{}", b.label());
         }
+    }
+
+    #[test]
+    fn every_benchmark_try_builds_identically() {
+        for b in Benchmark::ALL {
+            let k = b.kernel();
+            let spec = KernelSpec::from_kernel(&k);
+            let rebuilt = spec.try_build().unwrap();
+            assert_eq!(k, rebuilt, "{}", b.label());
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_forward_dep_with_typed_error() {
+        let spec = KernelSpec {
+            name: "bad".into(),
+            iterations: 1,
+            seed: 0,
+            body: vec![InstrSpec::Alu {
+                latency: 8,
+                deps: vec![3],
+                pc: None,
+            }],
+        };
+        let err = spec.try_build().err().unwrap();
+        assert_eq!(err.class(), "kernel-validation");
     }
 
     #[test]

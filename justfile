@@ -1,7 +1,7 @@
 # Developer entry points. `just check` is the pre-merge gate.
 
 # Build + test + lint, exactly what CI runs.
-check: build test clippy
+check: build test clippy lint-kernels
 
 build:
     cargo build --release --workspace --bins --examples --benches
@@ -13,6 +13,12 @@ test:
 # plus clippy.toml's allow-*-in-tests); any warning fails the gate.
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Static kernel-IR lint over every bundled workload (structure, def-use,
+# Table-I cross-check, SAP oracle). Warnings fail the gate, mirroring
+# clippy's -D warnings.
+lint-kernels:
+    cargo run --release -p apres-bench --bin kernel-lint -- --deny-warnings --oracle
 
 # Regenerate every paper exhibit at reduced scale (smoke test of the
 # figure pipeline; skipped data points are reported on stderr).

@@ -38,8 +38,10 @@
 //! | [`prefetch`] | `gpu-prefetch` | STR and SLD prefetchers |
 //! | [`core`] | `apres-core` | **LAWS + SAP**, energy model, Table II cost |
 //! | [`workloads`] | `gpu-workloads` | the 15 benchmarks + Table I characterisation |
+//! | [`analysis`] | `gpu-analysis` | static kernel-IR verifier, footprint/stride inference, SAP oracle |
 
 pub use apres_core as core;
+pub use gpu_analysis as analysis;
 pub use gpu_common as common;
 pub use gpu_kernel as kernel;
 pub use gpu_mem as mem;
@@ -52,9 +54,11 @@ pub use apres_core::energy::EnergyModel;
 pub use apres_core::hw_cost::HwCost;
 pub use apres_core::sim::{PrefetcherChoice, SchedulerChoice, Simulation};
 pub use apres_core::{Laws, Sap};
+pub use gpu_analysis::{analyze, KernelReport, OracleReport, StrideClass};
 pub use gpu_common::error::{DeadlockDiagnosis, SimError, SimResult};
 pub use gpu_common::fault::{FaultCounters, FaultPlan};
 pub use gpu_common::{Addr, Cycle, GpuConfig, LineAddr, Pc, SmId, WarpId};
+pub use gpu_common::{Diagnostic, Report, Severity};
 pub use gpu_kernel::{AddressPattern, Kernel};
 pub use gpu_sm::gpu::Sample;
 pub use gpu_sm::trace::{IssueKind, TraceEvent};

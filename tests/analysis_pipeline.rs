@@ -1,0 +1,72 @@
+//! End-to-end tests of the static-analysis pipeline through the facade:
+//! the oracle JSON contract the lint pipeline publishes, and the
+//! verifier's gate in front of the simulator.
+
+use apres::analysis::fixtures;
+use apres::common::json::{parse, Json};
+use apres::{analyze, Benchmark, GpuConfig, Simulation};
+
+/// The acceptance contract for the per-kernel SAP-accuracy JSON: every
+/// shipped workload reports a `misclassification_rate` of exactly zero,
+/// with one verdict per static load.
+#[test]
+fn oracle_json_reports_zero_misclassification_for_the_suite() {
+    for b in Benchmark::ALL {
+        let kernel = b.kernel();
+        let report = analyze(&kernel, 32, true);
+        let doc = parse(&report.to_json().to_compact())
+            .unwrap_or_else(|e| panic!("{}: invalid JSON: {e:?}", b.label()));
+        let oracle = doc.get("oracle").unwrap_or(&Json::Null);
+        assert_eq!(
+            oracle.get("misclassification_rate").and_then(Json::as_f64),
+            Some(0.0),
+            "{}: {oracle:?}",
+            b.label()
+        );
+        let loads = oracle.get("loads").and_then(Json::as_arr).unwrap_or(&[]);
+        assert_eq!(
+            loads.len(),
+            kernel.load_sites().count(),
+            "{}: one verdict per load",
+            b.label()
+        );
+        for load in loads {
+            assert_eq!(load.get("agrees"), Some(&Json::Bool(true)));
+            assert!(load.get("class").and_then(|c| c.get("kind")).is_some());
+        }
+    }
+}
+
+/// Defective kernels never reach cycle 0: the facade's `run` gate returns
+/// the typed validation error with the offending diagnostics attached.
+#[test]
+fn simulation_gate_rejects_defective_fixtures() {
+    for kernel in [
+        fixtures::self_dependency(),
+        fixtures::forward_cycle(),
+        fixtures::dangling_slot(),
+        fixtures::divergent_barrier(),
+    ] {
+        let name = kernel.name().to_owned();
+        let err = Simulation::new(kernel)
+            .config(GpuConfig::small_test())
+            .run()
+            .expect_err(&name);
+        assert_eq!(err.class(), "kernel-validation", "{name}: {err}");
+    }
+}
+
+/// Warning-level defects (a dead load) do not gate simulation — the run
+/// proceeds — but they do fail the lint gate.
+#[test]
+fn warnings_lint_dirty_but_still_simulate() {
+    let kernel = fixtures::dead_load();
+    let report = analyze(&kernel, 32, false);
+    assert!(!report.report.has_errors());
+    assert!(!report.is_clean());
+    let result = Simulation::new(kernel)
+        .config(GpuConfig::small_test())
+        .run()
+        .unwrap_or_else(|e| panic!("dead load must still simulate: {e}"));
+    assert!(result.termination.is_drained());
+}
