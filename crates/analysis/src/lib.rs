@@ -9,7 +9,7 @@
 //! 2. **def-use** — liveness over the dependency DAG (dead instructions,
 //!    divergent barriers); also in [`gpu_kernel::verify`].
 //! 3. **table1** — static footprint and stride inference per load,
-//!    cross-checked against the paper's Table-I rows ([`footprint`]).
+//!    cross-checked against the paper's Table-I rows ([`mod@footprint`]).
 //! 4. **sap-oracle** — replays each load's address stream through a fresh
 //!    SAP engine and compares what it learned against the static stride
 //!    class ([`oracle`]).

@@ -7,70 +7,107 @@
 //!   absolute numbers while policy *ordering* is preserved.
 //!
 //! ```text
-//! cargo run --release -p apres-bench --bin ablation_substrate [--fast]
+//! cargo run --release -p apres-bench --bin ablation_substrate -- [--fast] [--jobs N]
 //! ```
 
-use apres_bench::{print_table, Scale, APRES, BASELINE};
-use apres_core::sim::Simulation;
-use gpu_common::config::{DramRowPolicy, GpuConfig, Replacement};
+use apres_bench::{emit_table, BenchArgs, SimSweep, APRES, BASELINE};
+use gpu_common::config::{DramRowPolicy, Replacement};
 use gpu_workloads::Benchmark;
 
-fn run(bench: Benchmark, cfg: &GpuConfig, apres: bool, scale: Scale) -> Option<gpu_sm::RunResult> {
-    let sim = Simulation::new(bench.kernel_scaled(scale.iterations(bench))).config(cfg.clone());
-    let sim = if apres {
-        sim.apres()
-    } else {
-        sim.scheduler(BASELINE.sched).prefetcher(BASELINE.pf)
-    };
-    let label = format!("{}/{}", bench.label(), if apres { "APRES" } else { "baseline" });
-    apres_bench::report_outcome(&label, sim.run())
-}
+const L1_POLICIES: [Replacement; 3] = [Replacement::Lru, Replacement::Fifo, Replacement::Mru];
+const DRAM_BENCHES: [Benchmark; 2] = [Benchmark::Srad, Benchmark::Lud];
+const DRAM_POLICIES: [DramRowPolicy; 2] = [DramRowPolicy::Uniform, DramRowPolicy::FrFcfsRowBuffer];
 
 fn main() {
-    let scale = Scale::from_args();
-    let _ = APRES; // combos documented above
+    let args = BenchArgs::parse();
+    let scale = args.scale;
+    let mut sweep = SimSweep::from_args("ablation_substrate", &args);
+    let l1_ids: Vec<_> = L1_POLICIES
+        .iter()
+        .map(|&policy| {
+            let mut cfg = scale.config();
+            cfg.l1.replacement = policy;
+            (
+                sweep.add_labeled(
+                    format!("{}/baseline", Benchmark::Km.label()),
+                    Benchmark::Km,
+                    BASELINE,
+                    scale,
+                    &cfg,
+                ),
+                sweep.add_labeled(
+                    format!("{}/APRES", Benchmark::Km.label()),
+                    Benchmark::Km,
+                    APRES,
+                    scale,
+                    &cfg,
+                ),
+            )
+        })
+        .collect();
+    let dram_ids: Vec<_> = DRAM_BENCHES
+        .iter()
+        .flat_map(|&bench| {
+            DRAM_POLICIES
+                .iter()
+                .map(move |&policy| (bench, policy))
+                .collect::<Vec<_>>()
+        })
+        .map(|(bench, policy)| {
+            let mut cfg = scale.config();
+            cfg.dram.row_policy = policy;
+            (
+                bench,
+                policy,
+                sweep.add_labeled(
+                    format!("{}/baseline", bench.label()),
+                    bench,
+                    BASELINE,
+                    scale,
+                    &cfg,
+                ),
+                sweep.add_labeled(format!("{}/APRES", bench.label()), bench, APRES, scale, &cfg),
+            )
+        })
+        .collect();
+    let res = sweep.run(args.jobs);
 
     println!("Substrate ablation 1 — L1 replacement policy on KM (cyclic thrash)\n");
     let mut rows = Vec::new();
-    for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Mru] {
-        let mut cfg = scale.config();
-        cfg.l1.replacement = policy;
-        let (Some(b), Some(a)) = (
-            run(Benchmark::Km, &cfg, false, scale),
-            run(Benchmark::Km, &cfg, true, scale),
-        ) else {
+    for (policy, (b_id, a_id)) in L1_POLICIES.iter().zip(&l1_ids) {
+        let (Some(b), Some(a)) = (res.get(*b_id), res.get(*a_id)) else {
             continue;
         };
         rows.push(vec![
             format!("{policy:?}"),
             format!("{:.3}", b.ipc()),
             format!("{:.2}", b.l1.miss_rate()),
-            format!("{:.3}", a.speedup_over(&b)),
+            format!("{:.3}", a.speedup_over(b)),
         ]);
     }
-    print_table(&["L1 policy", "base IPC", "base miss", "APRES speedup"], &rows);
+    emit_table(
+        &args,
+        "ablation_l1_policy",
+        &["L1 policy", "base IPC", "base miss", "APRES speedup"],
+        &rows,
+    );
 
     println!("\nSubstrate ablation 2 — DRAM service model (SRAD + LUD)\n");
     let mut rows = Vec::new();
-    for bench in [Benchmark::Srad, Benchmark::Lud] {
-        for policy in [DramRowPolicy::Uniform, DramRowPolicy::FrFcfsRowBuffer] {
-            let mut cfg = scale.config();
-            cfg.dram.row_policy = policy;
-            let (Some(b), Some(a)) = (
-                run(bench, &cfg, false, scale),
-                run(bench, &cfg, true, scale),
-            ) else {
-                continue;
-            };
-            rows.push(vec![
-                format!("{} / {policy:?}", bench.label()),
-                format!("{:.3}", b.ipc()),
-                format!("{:.0}", b.mem.avg_load_latency()),
-                format!("{:.3}", a.speedup_over(&b)),
-            ]);
-        }
+    for (bench, policy, b_id, a_id) in &dram_ids {
+        let (Some(b), Some(a)) = (res.get(*b_id), res.get(*a_id)) else {
+            continue;
+        };
+        rows.push(vec![
+            format!("{} / {policy:?}", bench.label()),
+            format!("{:.3}", b.ipc()),
+            format!("{:.0}", b.mem.avg_load_latency()),
+            format!("{:.3}", a.speedup_over(b)),
+        ]);
     }
-    print_table(
+    emit_table(
+        &args,
+        "ablation_dram_model",
         &["bench / DRAM model", "base IPC", "base latency", "APRES speedup"],
         &rows,
     );

@@ -1,18 +1,12 @@
 //! Deep-dive diagnostics for one benchmark (not a paper exhibit).
 
-use apres_bench::{run, Combo, Scale};
+use apres_bench::{benchmark_by_label_or_exit, BenchArgs, Combo, SimSweep};
 
 use apres_core::sim::{PrefetcherChoice, SchedulerChoice};
-use gpu_workloads::Benchmark;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "SRAD".into());
-    let scale = Scale::from_args();
-    let Some(bench) = Benchmark::ALL.into_iter().find(|b| b.label() == name) else {
-        let known: Vec<&str> = Benchmark::ALL.iter().map(|b| b.label()).collect();
-        eprintln!("unknown benchmark {name:?}; known: {}", known.join(" "));
-        std::process::exit(2);
-    };
+    let args = BenchArgs::parse();
+    let bench = benchmark_by_label_or_exit(args.first_positional().unwrap_or("SRAD"));
     let combos = [
         Combo::new(SchedulerChoice::Lrr, PrefetcherChoice::None),
         Combo::new(SchedulerChoice::Lrr, PrefetcherChoice::Str),
@@ -21,13 +15,20 @@ fn main() {
         Combo::new(SchedulerChoice::Laws, PrefetcherChoice::Str),
         Combo::new(SchedulerChoice::Laws, PrefetcherChoice::Sap),
     ];
+    let mut sweep = SimSweep::from_args("diag", &args);
+    let ids: Vec<_> = combos
+        .iter()
+        .map(|c| sweep.add(bench, *c, args.scale))
+        .collect();
+    let res = sweep.run(args.jobs);
+
     println!(
         "{:<10} {:>9} {:>6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8} {:>9}",
         "combo", "cycles", "ipc", "miss", "pf_iss", "pf_use", "pf_late", "pf_early",
         "pf_usls", "avg_lat", "st_lsu", "st_dep", "mshr_rej"
     );
-    for c in combos {
-        let Some(r) = run(bench, c, scale) else {
+    for (c, id) in combos.iter().zip(&ids) {
+        let Some(r) = res.get(*id) else {
             continue;
         };
         println!(

@@ -2,15 +2,27 @@
 //! measured characteristics, column by column.
 //!
 //! ```text
-//! cargo run --release -p apres-bench --bin fidelity
+//! cargo run --release -p apres-bench --bin fidelity -- [--jobs N]
 //! ```
 
-use apres_bench::print_table;
+use apres_bench::{emit_table, map_parallel, BenchArgs};
 use gpu_common::GpuConfig;
-use gpu_workloads::fidelity_report;
+use gpu_workloads::{characterize, fidelity_apps, fidelity_report_from};
 
 fn main() {
-    let report = fidelity_report(&GpuConfig::paper_baseline());
+    let args = BenchArgs::parse();
+    let cfg = GpuConfig::paper_baseline();
+    let started = std::time::Instant::now();
+    let profiles = map_parallel(args.jobs, fidelity_apps(), |_, b| {
+        (b.label(), characterize(&b.kernel(), &cfg, None))
+    });
+    eprintln!(
+        "[fidelity] {} apps characterized in {:.2}s on {} worker(s)",
+        profiles.len(),
+        started.elapsed().as_secs_f64(),
+        args.jobs
+    );
+    let report = fidelity_report_from(&profiles);
     println!("Synthetic-workload fidelity vs. the paper's Table I\n");
     let mut rows = Vec::new();
     let (mut miss_err, mut n) = (0.0, 0);
@@ -46,7 +58,9 @@ fn main() {
             stride_ok += 1;
         }
     }
-    print_table(
+    emit_table(
+        &args,
+        "fidelity",
         &[
             "App/PC",
             "#L/#R (paper/ours)",

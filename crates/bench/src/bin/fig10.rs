@@ -1,12 +1,12 @@
 //! Figure 10 — IPC of CCWS, LAWS, CCWS+STR, LAWS+STR and APRES,
 //! normalized to the baseline, with category geometric means.
 
-use apres_bench::{geomean, print_table, run, Combo, Scale, APRES, BASELINE, CCWS_STR};
+use apres_bench::{emit_table, geomean, BenchArgs, Combo, SimSweep, APRES, BASELINE, CCWS_STR};
 use apres_core::sim::{PrefetcherChoice, SchedulerChoice};
 use gpu_workloads::{Benchmark, Category};
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse();
     let combos = [
         Combo::new(SchedulerChoice::Ccws, PrefetcherChoice::None),
         Combo::new(SchedulerChoice::Laws, PrefetcherChoice::None),
@@ -14,6 +14,17 @@ fn main() {
         Combo::new(SchedulerChoice::Laws, PrefetcherChoice::Str),
         APRES,
     ];
+    let mut sweep = SimSweep::from_args("fig10", &args);
+    let points: Vec<_> = Benchmark::ALL
+        .into_iter()
+        .map(|b| {
+            let base = sweep.add(b, BASELINE, args.scale);
+            let per_combo: Vec<_> = combos.iter().map(|c| sweep.add(b, *c, args.scale)).collect();
+            (b, base, per_combo)
+        })
+        .collect();
+    let res = sweep.run(args.jobs);
+
     println!("Figure 10 — IPC normalized to baseline (LRR, no prefetching)\n");
     let mut headers = vec!["App"];
     let labels: Vec<String> = combos.iter().map(Combo::label).collect();
@@ -21,18 +32,18 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut speedups: Vec<Vec<(Benchmark, f64)>> = vec![Vec::new(); combos.len()];
-    for b in Benchmark::ALL {
-        let Some(base) = run(b, BASELINE, scale) else {
+    for (b, base, per_combo) in &points {
+        let Some(base) = res.get(*base) else {
             continue;
         };
         let mut row = vec![b.label().to_owned()];
-        for (i, c) in combos.iter().enumerate() {
-            let Some(r) = run(b, *c, scale) else {
+        for (i, id) in per_combo.iter().enumerate() {
+            let Some(r) = res.get(*id) else {
                 row.push("-".to_owned());
                 continue;
             };
-            let s = r.speedup_over(&base);
-            speedups[i].push((b, s));
+            let s = r.speedup_over(base);
+            speedups[i].push((*b, s));
             row.push(format!("{s:.3}"));
         }
         rows.push(row);
@@ -62,6 +73,5 @@ fn main() {
         b.category() != Category::ComputeIntensive
     }));
     rows.push(cat_row("GM-all", &|_| true));
-    print_table(&headers, &rows);
-    apres_bench::maybe_write_csv("fig10", &headers, &rows);
+    emit_table(&args, "fig10", &headers, &rows);
 }

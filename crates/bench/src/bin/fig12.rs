@@ -1,15 +1,28 @@
 //! Figure 12 — early-eviction ratio: CCWS+STR vs APRES.
 
-use apres_bench::{mean, print_table, run, Scale, APRES, CCWS_STR};
+use apres_bench::{emit_table, mean, BenchArgs, SimSweep, APRES, CCWS_STR};
 use gpu_workloads::Benchmark;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse();
+    let mut sweep = SimSweep::from_args("fig12", &args);
+    let points: Vec<_> = Benchmark::ALL
+        .into_iter()
+        .map(|b| {
+            (
+                b,
+                sweep.add(b, CCWS_STR, args.scale),
+                sweep.add(b, APRES, args.scale),
+            )
+        })
+        .collect();
+    let res = sweep.run(args.jobs);
+
     println!("Figure 12 — early eviction ratio, CCWS+STR vs APRES\n");
     let mut rows = Vec::new();
     let (mut s_all, mut a_all) = (Vec::new(), Vec::new());
-    for b in Benchmark::ALL {
-        let (Some(s), Some(a)) = (run(b, CCWS_STR, scale), run(b, APRES, scale)) else {
+    for (b, s_id, a_id) in &points {
+        let (Some(s), Some(a)) = (res.get(*s_id), res.get(*a_id)) else {
             continue;
         };
         let (se, ae) = (
@@ -29,6 +42,5 @@ fn main() {
         format!("{:.3}", mean(&s_all)),
         format!("{:.3}", mean(&a_all)),
     ]);
-    print_table(&["App", "CCWS+STR", "APRES"], &rows);
-    apres_bench::maybe_write_csv("fig12", &["App", "CCWS+STR", "APRES"], &rows);
+    emit_table(&args, "fig12", &["App", "CCWS+STR", "APRES"], &rows);
 }

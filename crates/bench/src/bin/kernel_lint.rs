@@ -9,11 +9,18 @@
 //! Flags:
 //!
 //! * `--json` — emit one JSON object (`{"kernels": [...], "clean": bool}`)
-//!   instead of text;
+//!   instead of text (note: unlike the exhibit binaries, `--json` here
+//!   takes no directory — this tool predates the shared CLI and keeps its
+//!   stdout contract);
 //! * `--oracle` — also replay each load through SAP and include the
 //!   per-kernel misclassification rate;
-//! * `--deny-warnings` — treat warnings as gate failures (notes never gate).
+//! * `--deny-warnings` — treat warnings as gate failures (notes never gate);
+//! * `--jobs N` — worker threads for per-kernel analysis (default:
+//!   `APRES_JOBS`, else all cores). Output is aggregated in kernel order,
+//!   so it is byte-identical at any worker count.
 
+use apres_bench::cli::resolve_jobs;
+use apres_bench::map_parallel;
 use gpu_analysis::{analyze, KernelReport};
 use gpu_common::json::Json;
 use gpu_common::Severity;
@@ -66,24 +73,38 @@ fn print_text(reports: &[KernelReport], deny_warnings: bool) {
     );
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let oracle = args.iter().any(|a| a == "--oracle");
-    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
-    if let Some(unknown) = args
-        .iter()
-        .find(|a| !matches!(a.as_str(), "--json" | "--oracle" | "--deny-warnings"))
-    {
-        eprintln!("kernel-lint: unknown flag {unknown}");
-        eprintln!("usage: kernel-lint [--json] [--oracle] [--deny-warnings]");
-        std::process::exit(2);
-    }
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("kernel-lint: {msg}");
+    eprintln!("usage: kernel-lint [--json] [--oracle] [--deny-warnings] [--jobs N]");
+    std::process::exit(2);
+}
 
-    let reports: Vec<KernelReport> = Benchmark::ALL
-        .iter()
-        .map(|b| analyze(&b.kernel(), WARP_SIZE, oracle))
-        .collect();
+fn main() {
+    let mut json = false;
+    let mut oracle = false;
+    let mut deny_warnings = false;
+    let mut jobs_flag: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--oracle" => oracle = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage_exit("--jobs requires a value"));
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs_flag = Some(n),
+                    _ => usage_exit(&format!("--jobs: not a positive number: {v:?}")),
+                }
+            }
+            unknown => usage_exit(&format!("unknown flag {unknown}")),
+        }
+    }
+    let jobs = resolve_jobs(jobs_flag);
+
+    let reports: Vec<KernelReport> = map_parallel(jobs, Benchmark::ALL.to_vec(), |_, b| {
+        analyze(&b.kernel(), WARP_SIZE, oracle)
+    });
     let clean = !reports.iter().any(|r| gate_fails(r, deny_warnings));
 
     if json {

@@ -1,38 +1,63 @@
 //! Timing/shape probe: runs each benchmark under baseline and APRES at
 //! paper scale and prints cycles, IPC, miss rate and wall time. Used to
 //! validate scale choices; not part of the paper's exhibits.
+//!
+//! Wall-time columns measure each simulation on its worker thread, so
+//! they vary run to run. Pass `--no-time` to print `-` instead — `just
+//! bench-smoke` does, to keep stdout byte-comparable across `--jobs`
+//! values.
 
-use apres_bench::{run, Scale, APRES, BASELINE};
+use apres_bench::{map_parallel, report_outcome, try_run_with_config, BenchArgs, APRES, BASELINE};
 use gpu_workloads::Benchmark;
 use std::time::Instant;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
+    let started = Instant::now();
+    let timed = map_parallel(args.jobs, Benchmark::ALL.to_vec(), |_, b| {
+        let t0 = Instant::now();
+        let base = try_run_with_config(b, BASELINE, scale, &scale.config());
+        let t1 = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let apres = try_run_with_config(b, APRES, scale, &scale.config());
+        let t2 = t0.elapsed().as_secs_f64();
+        (b, base, t1, apres, t2)
+    });
+    eprintln!(
+        "[probe] {} sims in {:.2}s on {} worker(s)",
+        2 * timed.len(),
+        started.elapsed().as_secs_f64(),
+        args.jobs
+    );
+    let secs = |t: f64| {
+        if args.no_time {
+            "-".to_owned()
+        } else {
+            format!("{t:.2}")
+        }
+    };
     println!(
         "{:<6} {:>10} {:>7} {:>6} {:>7} | {:>10} {:>7} {:>8} {:>7}",
         "bench", "base_cyc", "ipc", "miss", "sec", "apres_cyc", "ipc", "speedup", "sec"
     );
-    for b in Benchmark::ALL {
-        let t0 = Instant::now();
-        let base = run(b, BASELINE, scale);
-        let t1 = t0.elapsed().as_secs_f64();
-        let t0 = Instant::now();
-        let apres = run(b, APRES, scale);
-        let t2 = t0.elapsed().as_secs_f64();
+    for (b, base, t1, apres, t2) in timed {
+        let base = report_outcome(&format!("{}/{}", b.label(), BASELINE.label()), base);
+        let apres = report_outcome(&format!("{}/{}", b.label(), APRES.label()), apres);
         let (Some(base), Some(apres)) = (base, apres) else {
             continue;
         };
         println!(
-            "{:<6} {:>10} {:>7.3} {:>6.2} {:>7.2} | {:>10} {:>7.3} {:>8.3} {:>7.2}{}{}",
+            "{:<6} {:>10} {:>7.3} {:>6.2} {:>7} | {:>10} {:>7.3} {:>8.3} {:>7}{}{}",
             b.label(),
             base.cycles,
             base.ipc(),
             base.l1.miss_rate(),
-            t1,
+            secs(t1),
             apres.cycles,
             apres.ipc(),
             apres.speedup_over(&base),
-            t2,
+            secs(t2),
             if base.termination.is_drained() {
                 String::new()
             } else {

@@ -2,42 +2,51 @@
 //! (warps per SM) sensitivity of the baseline and of APRES.
 //!
 //! ```text
-//! cargo run --release -p apres-bench --bin sweep [--fast] [APP]
+//! cargo run --release -p apres-bench --bin sweep -- [--fast] [--jobs N] [APP]
 //! ```
 
-use apres_bench::{print_table, Scale, APRES, BASELINE};
-use apres_core::sim::Simulation;
+use apres_bench::{
+    benchmark_by_label_or_exit, emit_table, BenchArgs, SimSweep, APRES, BASELINE,
+};
 use gpu_workloads::Benchmark;
 
+const L1_KBS: [u64; 7] = [16, 32, 64, 128, 256, 1024, 4096];
+const TLP_WARPS: [usize; 5] = [8, 16, 24, 32, 48];
+
 fn main() {
-    let scale = Scale::from_args();
-    let bench = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with("--"))
-        .map(|name| {
-            Benchmark::ALL
-                .into_iter()
-                .find(|b| b.label().eq_ignore_ascii_case(&name))
-                .unwrap_or_else(|| {
-                    let known: Vec<&str> = Benchmark::ALL.iter().map(|b| b.label()).collect();
-                    eprintln!("unknown benchmark {name:?}; known: {}", known.join(" "));
-                    std::process::exit(2);
-                })
-        })
+    let args = BenchArgs::parse();
+    let scale = args.scale;
+    let bench = args
+        .first_positional()
+        .map(benchmark_by_label_or_exit)
         .unwrap_or(Benchmark::Km);
-    let kernel = || bench.kernel_scaled(scale.iterations(bench));
+
+    let mut sweep = SimSweep::from_args("sweep", &args);
+    let l1_ids: Vec<_> = L1_KBS
+        .iter()
+        .map(|&kb| {
+            let mut cfg = scale.config();
+            cfg.l1.capacity_bytes = kb * 1024;
+            sweep.add_labeled(format!("l1={kb}KB"), bench, BASELINE, scale, &cfg)
+        })
+        .collect();
+    let tlp_ids: Vec<_> = TLP_WARPS
+        .iter()
+        .map(|&warps| {
+            let mut cfg = scale.config();
+            cfg.core.warps_per_sm = warps;
+            (
+                sweep.add_labeled(format!("warps={warps} base"), bench, BASELINE, scale, &cfg),
+                sweep.add_labeled(format!("warps={warps} apres"), bench, APRES, scale, &cfg),
+            )
+        })
+        .collect();
+    let res = sweep.run(args.jobs);
 
     println!("L1 capacity sweep on {} (baseline LRR)\n", bench.label());
     let mut rows = Vec::new();
-    for kb in [16u64, 32, 64, 128, 256, 1024, 4096] {
-        let mut cfg = scale.config();
-        cfg.l1.capacity_bytes = kb * 1024;
-        let r = Simulation::new(kernel())
-            .config(cfg)
-            .scheduler(BASELINE.sched)
-            .prefetcher(BASELINE.pf)
-            .run();
-        let Some(r) = apres_bench::report_outcome(&format!("l1={kb}KB"), r) else {
+    for (kb, id) in L1_KBS.iter().zip(&l1_ids) {
+        let Some(r) = res.get(*id) else {
             continue;
         };
         rows.push(vec![
@@ -50,27 +59,12 @@ fn main() {
             ),
         ]);
     }
-    print_table(&["L1", "IPC", "miss", "cap+conf"], &rows);
+    emit_table(&args, "sweep_l1", &["L1", "IPC", "miss", "cap+conf"], &rows);
 
     println!("\nTLP sweep on {} (warps per SM; baseline vs APRES)\n", bench.label());
     let mut rows = Vec::new();
-    for warps in [8usize, 16, 24, 32, 48] {
-        let mut cfg = scale.config();
-        cfg.core.warps_per_sm = warps;
-        let base = Simulation::new(kernel())
-            .config(cfg.clone())
-            .scheduler(BASELINE.sched)
-            .prefetcher(BASELINE.pf)
-            .run();
-        let apres = Simulation::new(kernel())
-            .config(cfg)
-            .scheduler(APRES.sched)
-            .prefetcher(APRES.pf)
-            .run();
-        let (Some(base), Some(apres)) = (
-            apres_bench::report_outcome(&format!("warps={warps} base"), base),
-            apres_bench::report_outcome(&format!("warps={warps} apres"), apres),
-        ) else {
+    for (warps, (base_id, apres_id)) in TLP_WARPS.iter().zip(&tlp_ids) {
+        let (Some(base), Some(apres)) = (res.get(*base_id), res.get(*apres_id)) else {
             continue;
         };
         rows.push(vec![
@@ -78,10 +72,12 @@ fn main() {
             format!("{:.3}", base.ipc()),
             format!("{:.2}", base.l1.miss_rate()),
             format!("{:.3}", apres.ipc()),
-            format!("{:.3}", apres.speedup_over(&base)),
+            format!("{:.3}", apres.speedup_over(base)),
         ]);
     }
-    print_table(
+    emit_table(
+        &args,
+        "sweep_tlp",
         &["warps/SM", "base IPC", "base miss", "APRES IPC", "speedup"],
         &rows,
     );

@@ -5,16 +5,28 @@
 //! dominant inter-warp stride and the fraction of accesses following it
 //! (%Stride). Compare against the paper's Table I.
 
-use apres_bench::print_table;
+use apres_bench::{emit_table, map_parallel, BenchArgs};
 use gpu_common::GpuConfig;
 use gpu_workloads::{characterize, Benchmark};
 
 fn main() {
+    let args = BenchArgs::parse();
     let cfg = GpuConfig::paper_baseline();
     println!("Table I — characteristics of frequently executed loads (top 3 per app)\n");
+    let started = std::time::Instant::now();
+    let per_bench = map_parallel(
+        args.jobs,
+        Benchmark::MEMORY_INTENSIVE.to_vec(),
+        |_, b| (b, characterize(&b.kernel(), &cfg, None)),
+    );
+    eprintln!(
+        "[table1] {} apps characterized in {:.2}s on {} worker(s)",
+        per_bench.len(),
+        started.elapsed().as_secs_f64(),
+        args.jobs
+    );
     let mut rows = Vec::new();
-    for b in Benchmark::MEMORY_INTENSIVE {
-        let profiles = characterize(&b.kernel(), &cfg, None);
+    for (b, profiles) in &per_bench {
         for p in profiles.iter().take(3) {
             rows.push(vec![
                 b.label().to_owned(),
@@ -27,9 +39,10 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    emit_table(
+        &args,
+        "table1",
         &["App", "PC", "%Load", "#L/#R", "MissRate", "Stride", "%Stride"],
         &rows,
     );
-    apres_bench::maybe_write_csv("table1", &["App", "PC", "%Load", "#L/#R", "MissRate", "Stride", "%Stride"], &rows);
 }

@@ -1,9 +1,13 @@
 //! Table II — hardware cost of APRES, derived from the structure geometry.
 
+use apres_bench::BenchArgs;
 use apres_core::hw_cost::HwCost;
 use gpu_common::config::ApresConfig;
 
 fn main() {
+    // Static derivation — no simulations to shard; parsing the shared
+    // arguments keeps the command line uniform across exhibit binaries.
+    let _args = BenchArgs::parse();
     let cost = HwCost::compute(&ApresConfig::table_ii(), 48);
     println!("Table II — hardware cost of APRES (per SM, 48 warps)\n");
     println!("LAWS  LLT: 4B x 48            = {:>4} B", cost.llt_bytes);

@@ -1,8 +1,12 @@
 //! Table III — the simulated GPU configuration.
 
+use apres_bench::BenchArgs;
 use gpu_common::GpuConfig;
 
 fn main() {
+    // Static print — parsing the shared arguments keeps the command line
+    // uniform across exhibit binaries.
+    let _args = BenchArgs::parse();
     let c = GpuConfig::paper_baseline();
     println!("Table III — simulation configuration\n");
     println!(

@@ -1,0 +1,522 @@
+//! Parallel, deterministic sweep harness shared by every exhibit binary.
+//!
+//! Every figure and table of the paper is a (benchmark × policy × config)
+//! matrix of **independent** simulations, so the harness runs them on a
+//! scoped-thread worker pool while guaranteeing that the output is
+//! *byte-identical* to a serial run:
+//!
+//! * **Submission-order aggregation.** Jobs are enqueued first
+//!   ([`SimSweep::add`] returns a [`JobId`]), executed in whatever order
+//!   the worker pool reaches them, and collected into a results vector
+//!   indexed by submission order. Formatting code reads results by
+//!   [`JobId`], so stdout never depends on thread scheduling. The
+//!   crash-safe stderr diagnostics ([`crate::report_outcome`]) are also
+//!   replayed in submission order, after all jobs finish.
+//! * **Index-derived seeds.** Each job's [`JobCtx::seed`] is
+//!   `derive_seed(base, index)` ([`gpu_common::rng::derive_seed`]) — a pure
+//!   function of the job's submission index, never of the worker that ran
+//!   it. Under `--seed S` the standard jobs re-seed their kernels with it;
+//!   custom jobs ([`SimSweep::add_fn`]) may use it for any per-job
+//!   randomness.
+//! * **Failure isolation.** A job's typed [`gpu_common::error::SimError`]
+//!   is captured, not
+//!   propagated: the data point becomes `None` (skipped, reported on
+//!   stderr with its error class) and the rest of the sweep is unaffected,
+//!   exactly like the serial crash-safe runner.
+//!
+//! Progress (jobs done, sims/sec, aggregate simulated cycles/sec) is
+//! reported live on stderr when it is a terminal, and always as one final
+//! summary line — stdout stays clean for the exhibit tables, which is what
+//! `just bench-smoke` byte-compares across `--jobs` values.
+
+use crate::{report_outcome, Combo, Scale};
+use gpu_common::config::GpuConfig;
+use gpu_common::error::SimResult;
+use gpu_common::rng::SeedStream;
+use gpu_common::stats::Throughput;
+use gpu_sm::RunResult;
+use gpu_workloads::Benchmark;
+use std::io::IsTerminal;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default base seed for per-job derivation when `--seed` is absent
+/// (jobs then keep their kernels' built-in seeds; the derived stream is
+/// still available to custom jobs).
+pub const DEFAULT_BASE_SEED: u64 = 0xA9E5;
+
+/// Per-job context handed to every job closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCtx {
+    /// Submission index of this job (0-based, dense).
+    pub index: usize,
+    /// Total jobs in the sweep.
+    pub total: usize,
+    /// Seed derived from `(base seed, index)` — identical for this job at
+    /// any `--jobs` value, so using it never breaks reproducibility.
+    pub seed: u64,
+    /// Whether `--seed` was given: standard jobs re-seed their kernels
+    /// with [`JobCtx::seed`] when set.
+    pub reseed: bool,
+}
+
+/// Handle to one enqueued job; redeem against [`SweepResults::get`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobId(usize);
+
+type SimJobFn = Box<dyn FnOnce(&JobCtx) -> SimResult<RunResult> + Send>;
+
+/// A batch of independent simulations, executed by [`SimSweep::run`].
+pub struct SimSweep {
+    name: String,
+    labels: Vec<String>,
+    jobs: Vec<SimJobFn>,
+    seeds: SeedStream,
+    reseed: bool,
+}
+
+impl SimSweep {
+    /// Starts an empty sweep; `name` tags progress lines on stderr.
+    pub fn new(name: impl Into<String>) -> Self {
+        SimSweep {
+            name: name.into(),
+            labels: Vec::new(),
+            jobs: Vec::new(),
+            seeds: SeedStream::new(DEFAULT_BASE_SEED),
+            reseed: false,
+        }
+    }
+
+    /// Builds a sweep from parsed [`crate::cli::BenchArgs`]: applies
+    /// `--seed` (per-job kernel re-seeding) when present.
+    pub fn from_args(name: impl Into<String>, args: &crate::cli::BenchArgs) -> Self {
+        let mut sweep = SimSweep::new(name);
+        if let Some(base) = args.seed {
+            sweep = sweep.reseed_from(base);
+        }
+        sweep
+    }
+
+    /// Enables seed-perturbation mode: every standard job re-seeds its
+    /// kernel with `derive_seed(base, job_index)`.
+    pub fn reseed_from(mut self, base: u64) -> Self {
+        self.seeds = SeedStream::new(base);
+        self.reseed = true;
+        self
+    }
+
+    /// Enqueues one (benchmark, policy) point at a scale's default config.
+    pub fn add(&mut self, bench: Benchmark, combo: Combo, scale: Scale) -> JobId {
+        self.add_with_config(bench, combo, scale, &scale.config())
+    }
+
+    /// Enqueues one point with an explicit GPU configuration.
+    pub fn add_with_config(
+        &mut self,
+        bench: Benchmark,
+        combo: Combo,
+        scale: Scale,
+        cfg: &GpuConfig,
+    ) -> JobId {
+        let label = format!("{}/{}", bench.label(), combo.label());
+        self.add_labeled(label, bench, combo, scale, cfg)
+    }
+
+    /// Enqueues one point with an explicit configuration *and* a custom
+    /// stderr label (parameter sweeps label points by the swept value,
+    /// e.g. `l1=64KB`, rather than by policy).
+    pub fn add_labeled(
+        &mut self,
+        label: impl Into<String>,
+        bench: Benchmark,
+        combo: Combo,
+        scale: Scale,
+        cfg: &GpuConfig,
+    ) -> JobId {
+        let cfg = cfg.clone();
+        self.add_fn(label, move |ctx| {
+            let mut sim = crate::simulation_for(bench, combo, scale, &cfg);
+            if ctx.reseed {
+                sim = sim.workload_seed(ctx.seed);
+            }
+            sim.run()
+        })
+    }
+
+    /// Enqueues a custom job; `label` names the point in stderr
+    /// diagnostics. The closure runs on a worker thread and must capture
+    /// everything it needs by value.
+    pub fn add_fn(
+        &mut self,
+        label: impl Into<String>,
+        f: impl FnOnce(&JobCtx) -> SimResult<RunResult> + Send + 'static,
+    ) -> JobId {
+        let id = JobId(self.jobs.len());
+        self.labels.push(label.into());
+        self.jobs.push(Box::new(f));
+        id
+    }
+
+    /// Number of enqueued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Executes every job on `jobs` worker threads and aggregates results
+    /// in submission order; stdout-visible data is byte-identical at any
+    /// worker count. Per-job failures are reported on stderr (in
+    /// submission order) and become `None` data points.
+    pub fn run(self, jobs: usize) -> SweepResults {
+        let SimSweep {
+            name,
+            labels,
+            jobs: tasks,
+            seeds,
+            reseed,
+        } = self;
+        let total = tasks.len();
+        let started = Instant::now();
+        let progress = Progress::new(&name, total, jobs);
+        let outcomes = run_ordered(jobs, tasks, |index, task| {
+            let ctx = JobCtx {
+                index,
+                total,
+                seed: seeds.seed(index as u64),
+                reseed,
+            };
+            let outcome = task(&ctx);
+            progress.on_done(&outcome);
+            outcome
+        });
+        let elapsed = started.elapsed();
+        let throughput = progress.finish(elapsed);
+        // Replay the crash-safe diagnostics in submission order so stderr
+        // is as deterministic as stdout.
+        let results = outcomes
+            .into_iter()
+            .zip(&labels)
+            .map(|(outcome, label)| report_outcome(label, outcome))
+            .collect();
+        SweepResults {
+            results,
+            throughput,
+            elapsed,
+        }
+    }
+}
+
+/// Results of a sweep, indexed by the [`JobId`]s handed out at enqueue
+/// time. Skipped (failed) points are `None`.
+pub struct SweepResults {
+    results: Vec<Option<RunResult>>,
+    /// Aggregate simulation throughput over the whole sweep.
+    pub throughput: Throughput,
+    /// Wall-clock time the sweep took.
+    pub elapsed: Duration,
+}
+
+impl SweepResults {
+    /// The result of one job; `None` if the point was skipped.
+    pub fn get(&self, id: JobId) -> Option<&RunResult> {
+        self.results[id.0].as_ref()
+    }
+
+    /// Number of jobs that completed with a result.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Total number of jobs in the sweep.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the sweep had no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+}
+
+/// Runs `items` through `f` on a pool of `jobs` scoped worker threads and
+/// returns the outputs **in input order**. Work is distributed by an
+/// atomic cursor (effectively work-stealing for uneven job lengths); with
+/// `jobs == 1` the loop degenerates to the serial order. Used directly by
+/// the analysis-style binaries (`kernel-lint`, `table1`, `fidelity`) whose
+/// jobs are not simulations.
+pub fn map_parallel<I, O, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    run_ordered(jobs, items, f)
+}
+
+/// Shared pool core: ordered in, ordered out.
+fn run_ordered<I, O, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    let total = items.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = jobs.max(1).min(total);
+    let tasks: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<O>>> = Mutex::new((0..total).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    break;
+                }
+                let Some(task) = lock_clean(&tasks[index]).take() else {
+                    continue;
+                };
+                let out = f(index, task);
+                lock_clean(&slots)[index] = Some(out);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| unreachable!("job {i} finished without a result"))
+        })
+        .collect()
+}
+
+/// Locks a mutex, shrugging off poisoning: a panicked worker's partial
+/// state is still structurally valid here (slots are write-once).
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Minimum delay between live progress repaints.
+const PROGRESS_EVERY: Duration = Duration::from_millis(250);
+
+/// Live progress reporter (stderr only).
+struct Progress {
+    name: String,
+    total: usize,
+    workers: usize,
+    live: bool,
+    started: Instant,
+    state: Mutex<ProgressState>,
+}
+
+struct ProgressState {
+    done: usize,
+    throughput: Throughput,
+    last_paint: Option<Instant>,
+}
+
+impl Progress {
+    fn new(name: &str, total: usize, workers: usize) -> Progress {
+        Progress {
+            name: name.to_owned(),
+            total,
+            workers,
+            live: std::io::stderr().is_terminal(),
+            started: Instant::now(),
+            state: Mutex::new(ProgressState {
+                done: 0,
+                throughput: Throughput::default(),
+                last_paint: None,
+            }),
+        }
+    }
+
+    fn on_done(&self, outcome: &SimResult<RunResult>) {
+        let mut st = lock_clean(&self.state);
+        st.done += 1;
+        match outcome {
+            Ok(r) => st.throughput.record(r.cycles, r.sim.instructions),
+            Err(_) => st.throughput.record(0, 0),
+        }
+        if !self.live {
+            return;
+        }
+        let now = Instant::now();
+        let due = st
+            .last_paint
+            .is_none_or(|t| now.duration_since(t) >= PROGRESS_EVERY)
+            || st.done == self.total;
+        if due {
+            st.last_paint = Some(now);
+            let elapsed = self.started.elapsed();
+            eprint!(
+                "\r[{}] {}/{} sims, {:.2} sims/s, {} cycles/s ",
+                self.name,
+                st.done,
+                self.total,
+                st.throughput.sims_per_sec(elapsed),
+                si(st.throughput.cycles_per_sec(elapsed)),
+            );
+        }
+    }
+
+    /// Clears the live line and prints the final summary; returns the
+    /// aggregated throughput.
+    fn finish(&self, elapsed: Duration) -> Throughput {
+        let st = lock_clean(&self.state);
+        if self.live {
+            eprint!("\r");
+        }
+        eprintln!(
+            "[{}] {} sims in {:.2}s on {} worker(s): {:.2} sims/s, {} cycles/s, {} instr/s",
+            self.name,
+            st.done,
+            elapsed.as_secs_f64(),
+            self.workers,
+            st.throughput.sims_per_sec(elapsed),
+            si(st.throughput.cycles_per_sec(elapsed)),
+            si(st.throughput.instructions_per_sec(elapsed)),
+        );
+        st.throughput
+    }
+}
+
+/// Formats a rate with an SI suffix (`42.5M`).
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BASELINE;
+
+    #[test]
+    fn map_parallel_preserves_input_order() {
+        // Uneven job costs: late items finish first on a multi-worker
+        // pool, yet outputs must land at their input index.
+        let items: Vec<u64> = (0..64).collect();
+        let out = map_parallel(8, items.clone(), |i, v| {
+            if v % 7 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            (i, v * 3)
+        });
+        for (i, (idx, tripled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*tripled, items[i] * 3);
+        }
+    }
+
+    #[test]
+    fn map_parallel_serial_matches_parallel() {
+        let serial = map_parallel(1, (0..32).collect(), |i, v: u64| v.wrapping_mul(i as u64));
+        let parallel = map_parallel(6, (0..32).collect(), |i, v: u64| v.wrapping_mul(i as u64));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn map_parallel_empty_and_oversubscribed() {
+        let empty: Vec<u32> = map_parallel(4, Vec::<u32>::new(), |_, v| v);
+        assert!(empty.is_empty());
+        // More workers than items must not deadlock or duplicate.
+        let one = map_parallel(16, vec![9u32], |_, v| v + 1);
+        assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn job_seeds_depend_on_index_not_worker() {
+        let seeds = SeedStream::new(DEFAULT_BASE_SEED);
+        let a: Vec<u64> = map_parallel(1, (0..16).collect(), |i, _: u64| seeds.seed(i as u64));
+        let b: Vec<u64> = map_parallel(5, (0..16).collect(), |i, _: u64| seeds.seed(i as u64));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_results_identical_at_any_worker_count() {
+        let build = || {
+            let mut sweep = SimSweep::new("test");
+            let ids: Vec<JobId> = Benchmark::ALL
+                .iter()
+                .take(4)
+                .map(|b| sweep.add(*b, BASELINE, Scale::Tiny))
+                .collect();
+            (sweep, ids)
+        };
+        let (s1, ids1) = build();
+        let (s4, ids4) = build();
+        let r1 = s1.run(1);
+        let r4 = s4.run(4);
+        assert_eq!(r1.len(), r4.len());
+        assert_eq!(r1.completed(), 4);
+        for (a, b) in ids1.iter().zip(&ids4) {
+            let (ra, rb) = (r1.get(*a).unwrap(), r4.get(*b).unwrap());
+            assert_eq!(ra.cycles, rb.cycles);
+            assert_eq!(ra.l1, rb.l1);
+            assert_eq!(ra.sim, rb.sim);
+        }
+        assert!(r1.throughput.cycles > 0);
+    }
+
+    #[test]
+    fn failed_job_is_isolated_not_fatal() {
+        let mut sweep = SimSweep::new("test");
+        let ok = sweep.add(Benchmark::Hs, BASELINE, Scale::Tiny);
+        let mut bad_cfg = Scale::Tiny.config();
+        bad_cfg.l1.ways = 0; // config-validation failure
+        let bad = sweep.add_with_config(Benchmark::Hs, BASELINE, Scale::Tiny, &bad_cfg);
+        let r = sweep.run(2);
+        assert!(r.get(ok).is_some());
+        assert!(r.get(bad).is_none());
+        assert_eq!(r.completed(), 1);
+    }
+
+    #[test]
+    fn reseed_mode_changes_results_deterministically() {
+        let run_with_base = |base: u64, workers: usize| {
+            let mut sweep = SimSweep::new("test").reseed_from(base);
+            let id = sweep.add(Benchmark::Km, BASELINE, Scale::Tiny);
+            let r = sweep.run(workers);
+            r.get(id).map(|r| r.cycles)
+        };
+        // Same base: reproducible at any worker count.
+        assert_eq!(run_with_base(7, 1), run_with_base(7, 3));
+        // KM's irregular hot-region draws make the seed observable.
+        assert_ne!(run_with_base(7, 1), run_with_base(8, 1));
+    }
+
+    #[test]
+    fn custom_jobs_see_ctx() {
+        let mut sweep = SimSweep::new("test");
+        let id = sweep.add_fn("custom", |ctx| {
+            assert_eq!(ctx.total, 1);
+            assert_eq!(ctx.index, 0);
+            assert!(!ctx.reseed);
+            crate::try_run_with_config(
+                Benchmark::Hs,
+                BASELINE,
+                Scale::Tiny,
+                &Scale::Tiny.config(),
+            )
+        });
+        let r = sweep.run(1);
+        assert!(r.get(id).is_some());
+    }
+}

@@ -18,21 +18,50 @@
 //! | `fig15`  | Fig. 15  | normalized dynamic energy |
 //!
 //! Pass `--fast` to any binary for a reduced scale (fewer SMs/iterations;
-//! same qualitative shape, minutes → seconds). The timing harnesses in
-//! `benches/` measure simulator throughput itself.
+//! same qualitative shape, minutes → seconds), `--tiny` for the minimal
+//! smoke-test scale. The timing harnesses in `benches/` measure simulator
+//! throughput itself.
 //!
-//! All exhibit binaries go through the crash-safe [`run`] /
-//! [`run_with_config`] entry points: a data point whose simulation fails
-//! with a typed [`SimError`] (invalid geometry, watchdog-diagnosed
-//! deadlock, …) is reported on stderr and skipped, so one bad point never
-//! aborts a whole sweep. Points that exhausted their cycle budget instead
-//! of draining are flagged on stderr too.
+//! Every exhibit binary shards its (benchmark × policy × config) matrix
+//! across a worker pool — the [`harness`] module — because each data point
+//! is an independent simulation. `--jobs N` (or `APRES_JOBS`) picks the
+//! worker count; results are aggregated in submission order, so stdout is
+//! **byte-identical at any worker count** (`just bench-smoke` enforces
+//! this). Command lines parse through [`cli::BenchArgs`]; tables print
+//! through [`emit_table`], which also writes `--csv`/`--json` copies.
+//!
+//! All data points go through the crash-safe [`run`] /
+//! [`run_with_config`] entry points or their harness equivalents: a point
+//! whose simulation fails with a typed [`SimError`] (invalid geometry,
+//! watchdog-diagnosed deadlock, …) is reported on stderr and skipped, so
+//! one bad point never aborts a whole sweep. Points that exhausted their
+//! cycle budget instead of draining are flagged on stderr too.
 
 use apres_core::sim::{PrefetcherChoice, SchedulerChoice, Simulation};
 use gpu_common::config::GpuConfig;
 use gpu_common::error::{SimError, SimResult};
+use gpu_common::json::Json;
 use gpu_sm::RunResult;
 use gpu_workloads::Benchmark;
+
+pub mod cli;
+pub mod harness;
+
+pub use cli::BenchArgs;
+pub use harness::{map_parallel, JobCtx, JobId, SimSweep, SweepResults};
+
+/// Resolves a benchmark label (case-insensitive) or exits with the known
+/// list on stderr — shared by the binaries that take an `APP` positional.
+pub fn benchmark_by_label_or_exit(name: &str) -> Benchmark {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.label().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = Benchmark::ALL.iter().map(|b| b.label()).collect();
+            eprintln!("unknown benchmark {name:?}; known: {}", known.join(" "));
+            std::process::exit(2);
+        })
+}
 
 /// One (scheduler, prefetcher) combination with a figure-style label.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,12 +101,20 @@ pub enum Scale {
     Paper,
     /// Reduced scale for quick runs (4 SMs, fewer iterations).
     Fast,
+    /// Minimal scale for smoke tests (2 SMs, minimal iterations) —
+    /// `just bench-smoke` runs every binary here at `--jobs 1` vs
+    /// `--jobs 2` and byte-compares stdout.
+    Tiny,
 }
 
 impl Scale {
-    /// Reads `--fast` from the process arguments.
+    /// Reads `--fast` / `--tiny` from the process arguments (prefer
+    /// [`cli::BenchArgs::parse`], which also validates the rest of the
+    /// command line).
     pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--fast") {
+        if std::env::args().any(|a| a == "--tiny") {
+            Scale::Tiny
+        } else if std::env::args().any(|a| a == "--fast") {
             Scale::Fast
         } else {
             Scale::Paper
@@ -86,14 +123,13 @@ impl Scale {
 
     /// GPU configuration at this scale.
     pub fn config(self) -> GpuConfig {
+        let mut cfg = GpuConfig::paper_baseline();
         match self {
-            Scale::Paper => GpuConfig::paper_baseline(),
-            Scale::Fast => {
-                let mut cfg = GpuConfig::paper_baseline();
-                cfg.core.num_sms = 4;
-                cfg
-            }
+            Scale::Paper => {}
+            Scale::Fast => cfg.core.num_sms = 4,
+            Scale::Tiny => cfg.core.num_sms = 2,
         }
+        cfg
     }
 
     /// Iteration count for `bench` at this scale.
@@ -101,6 +137,7 @@ impl Scale {
         match self {
             Scale::Paper => bench.default_iterations(),
             Scale::Fast => (bench.default_iterations() / 2).max(8),
+            Scale::Tiny => (bench.default_iterations() / 8).max(4),
         }
     }
 }
@@ -130,11 +167,23 @@ pub fn try_run_with_config(
     scale: Scale,
     cfg: &GpuConfig,
 ) -> SimResult<RunResult> {
+    simulation_for(bench, combo, scale, cfg).run()
+}
+
+/// Builds (without running) the [`Simulation`] for one data point — the
+/// single place the (benchmark, policy, scale, config) tuple is turned
+/// into a configured simulation, shared by the serial entry points above
+/// and by [`harness::SimSweep`]'s worker jobs.
+pub fn simulation_for(
+    bench: Benchmark,
+    combo: Combo,
+    scale: Scale,
+    cfg: &GpuConfig,
+) -> Simulation {
     Simulation::new(bench.kernel_scaled(scale.iterations(bench)))
         .config(cfg.clone())
         .scheduler(combo.sched)
         .prefetcher(combo.pf)
-        .run()
 }
 
 /// Converts one data point's outcome into the crash-safe form: `Err`
@@ -199,20 +248,65 @@ pub fn csv_string(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// Writes the table to `<name>.csv` when the process was invoked with
-/// `--csv <dir>` (exhibit binaries call this after printing).
+/// `--csv <dir>` (legacy path; binaries now route through
+/// [`emit_table`], which also handles `--json`).
 pub fn maybe_write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == "--csv" {
             let dir = args.next().unwrap_or_else(|| ".".into());
-            let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
-            if let Err(e) = std::fs::write(&path, csv_string(headers, rows)) {
-                eprintln!("failed to write {}: {e}", path.display());
-            } else {
-                eprintln!("wrote {}", path.display());
-            }
+            write_file(std::path::Path::new(&dir), name, "csv", &csv_string(headers, rows));
             return;
         }
+    }
+}
+
+/// Serialises a table as a deterministic JSON document:
+/// `{"exhibit": name, "headers": [...], "rows": [[...], ...]}`.
+///
+/// Cells stay strings (they are already formatted for display), so the
+/// document is byte-stable across runs and `--jobs` values — `just
+/// bench-smoke` relies on that.
+pub fn table_json(name: &str, headers: &[&str], rows: &[Vec<String>]) -> Json {
+    Json::Obj(vec![
+        ("exhibit".into(), Json::str(name)),
+        (
+            "headers".into(),
+            Json::Arr(headers.iter().map(|h| Json::str(*h)).collect()),
+        ),
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|row| Json::Arr(row.iter().map(Json::str).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Prints the exhibit table and writes CSV/JSON copies when the parsed
+/// arguments carry `--csv DIR` / `--json DIR`. The one emission path every
+/// exhibit binary shares.
+pub fn emit_table(args: &cli::BenchArgs, name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print_table(headers, rows);
+    if let Some(dir) = &args.csv {
+        write_file(std::path::Path::new(dir), name, "csv", &csv_string(headers, rows));
+    }
+    if let Some(dir) = &args.json {
+        let mut doc = table_json(name, headers, rows).to_pretty();
+        doc.push('\n');
+        write_file(std::path::Path::new(dir), name, "json", &doc);
+    }
+}
+
+/// Writes one emitted artifact, reporting success/failure on stderr.
+fn write_file(dir: &std::path::Path, name: &str, ext: &str, contents: &str) {
+    let path = dir.join(format!("{name}.{ext}"));
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("failed to write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
     }
 }
 
@@ -273,6 +367,28 @@ mod tests {
         let fast = Scale::Fast.config();
         assert!(fast.core.num_sms < Scale::Paper.config().core.num_sms);
         assert!(Scale::Fast.iterations(Benchmark::Km) <= Benchmark::Km.default_iterations());
+    }
+
+    #[test]
+    fn tiny_scale_shrinks_further() {
+        let tiny = Scale::Tiny.config();
+        assert!(tiny.core.num_sms < Scale::Fast.config().core.num_sms);
+        assert!(tiny.validate().is_ok());
+        assert!(Scale::Tiny.iterations(Benchmark::Km) <= Scale::Fast.iterations(Benchmark::Km));
+        assert!(Scale::Tiny.iterations(Benchmark::Km) >= 4);
+    }
+
+    #[test]
+    fn table_json_is_deterministic_and_parses() {
+        let headers = ["App", "IPC"];
+        let rows = vec![vec!["KM".to_string(), "0.5".to_string()]];
+        let doc = table_json("fig0", &headers, &rows);
+        let text = doc.to_pretty();
+        assert_eq!(text, table_json("fig0", &headers, &rows).to_pretty());
+        let parsed = gpu_common::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("exhibit").and_then(Json::as_str), Some("fig0"));
+        let rows_back = parsed.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows_back.len(), 1);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! assert_eq!(addr.line(cfg.l1.line_bytes).byte_offset(addr, cfg.l1.line_bytes), 0x34);
 //! ```
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod check;
 pub mod config;
 pub mod diag;
@@ -32,3 +35,5 @@ pub use diag::{Diagnostic, Report, Severity};
 pub use error::{DeadlockDiagnosis, SimError, SimResult, StallReason, StalledWarp};
 pub use fault::{FaultCounters, FaultPlan, FaultState};
 pub use ids::{Addr, Cycle, LineAddr, Pc, SmId, WarpId};
+pub use rng::{derive_seed, SeedStream, Xoshiro256};
+pub use stats::Throughput;

@@ -227,6 +227,79 @@ impl EnergyEvents {
     }
 }
 
+/// Aggregate throughput of a batch of simulations (sweep harnesses).
+///
+/// Workers [`record`](Throughput::record) each finished simulation's cycle
+/// and instruction counts; readers convert the totals plus an elapsed
+/// wall-clock duration into rates for progress reporting. The struct is
+/// plain data — accumulation across threads is the caller's concern (the
+/// bench harness merges per-worker records under its results lock).
+///
+/// # Example
+///
+/// ```
+/// use gpu_common::stats::Throughput;
+/// use std::time::Duration;
+///
+/// let mut t = Throughput::default();
+/// t.record(1_000_000, 350_000);
+/// t.record(2_000_000, 800_000);
+/// assert_eq!(t.sims, 2);
+/// let dt = Duration::from_secs(2);
+/// assert!((t.sims_per_sec(dt) - 1.0).abs() < 1e-12);
+/// assert!((t.cycles_per_sec(dt) - 1_500_000.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Throughput {
+    /// Simulations completed (successfully or not — a skipped data point
+    /// still consumed a worker slot).
+    pub sims: u64,
+    /// Simulated cycles accumulated over all completed runs.
+    pub cycles: u64,
+    /// Warp instructions accumulated over all completed runs.
+    pub instructions: u64,
+}
+
+impl Throughput {
+    /// Records one finished simulation.
+    pub fn record(&mut self, cycles: u64, instructions: u64) {
+        self.sims += 1;
+        self.cycles += cycles;
+        self.instructions += instructions;
+    }
+
+    /// Merges another record into this one.
+    pub fn merge(&mut self, other: &Throughput) {
+        self.sims += other.sims;
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+    }
+
+    /// Simulations per wall-clock second; zero for a zero duration.
+    pub fn sims_per_sec(&self, elapsed: std::time::Duration) -> f64 {
+        Self::rate(self.sims, elapsed)
+    }
+
+    /// Simulated cycles per wall-clock second; zero for a zero duration.
+    pub fn cycles_per_sec(&self, elapsed: std::time::Duration) -> f64 {
+        Self::rate(self.cycles, elapsed)
+    }
+
+    /// Warp instructions per wall-clock second; zero for a zero duration.
+    pub fn instructions_per_sec(&self, elapsed: std::time::Duration) -> f64 {
+        Self::rate(self.instructions, elapsed)
+    }
+
+    fn rate(count: u64, elapsed: std::time::Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            count as f64 / secs
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +387,24 @@ mod tests {
         };
         assert!((m.avg_load_latency() - 300.0).abs() < 1e-12);
         assert_eq!(MemStats::default().avg_load_latency(), 0.0);
+    }
+
+    #[test]
+    fn throughput_rates() {
+        let mut t = Throughput::default();
+        t.record(100, 40);
+        t.record(300, 60);
+        let mut merged = Throughput::default();
+        merged.merge(&t);
+        assert_eq!(merged, t);
+        assert_eq!(t.sims, 2);
+        assert_eq!(t.cycles, 400);
+        assert_eq!(t.instructions, 100);
+        let dt = std::time::Duration::from_millis(500);
+        assert!((t.sims_per_sec(dt) - 4.0).abs() < 1e-9);
+        assert!((t.cycles_per_sec(dt) - 800.0).abs() < 1e-9);
+        assert!((t.instructions_per_sec(dt) - 200.0).abs() < 1e-9);
+        assert_eq!(t.sims_per_sec(std::time::Duration::ZERO), 0.0);
     }
 
     #[test]

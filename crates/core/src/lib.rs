@@ -40,6 +40,9 @@
 //! assert!(!result.timed_out);
 //! ```
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod energy;
 pub mod hw_cost;
 mod laws;

@@ -140,6 +140,7 @@ pub struct Simulation {
     max_cycles: Cycle,
     watchdog: Option<Cycle>,
     fault_plan: Option<FaultPlan>,
+    seed_override: Option<u64>,
 }
 
 impl Simulation {
@@ -154,6 +155,7 @@ impl Simulation {
             max_cycles: DEFAULT_MAX_CYCLES,
             watchdog: Some(DEFAULT_WATCHDOG_WINDOW),
             fault_plan: None,
+            seed_override: None,
         }
     }
 
@@ -207,6 +209,39 @@ impl Simulation {
         self
     }
 
+    /// Overrides the kernel's workload seed for this run.
+    ///
+    /// The kernel body and patterns are unchanged; only the pattern
+    /// randomness re-rolls. Sweep harnesses use this together with
+    /// [`gpu_common::rng::derive_seed`] to give each job in a matrix its
+    /// own seed that depends on the job's *index*, never on which worker
+    /// thread ran it — so a parallel sweep reproduces the serial sweep
+    /// bit-for-bit.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use apres_core::sim::Simulation;
+    /// use gpu_common::{rng::derive_seed, GpuConfig};
+    /// use gpu_kernel::{AddressPattern, Kernel};
+    ///
+    /// let k = Kernel::builder("ex")
+    ///     .load(AddressPattern::shared_stream(0, 128), &[])
+    ///     .alu(8, &[0])
+    ///     .iterations(4)
+    ///     .build();
+    /// let r = Simulation::new(k)
+    ///     .config(GpuConfig::small_test())
+    ///     .workload_seed(derive_seed(0xAB5E, 3)) // job #3 of a sweep
+    ///     .run()
+    ///     .expect("valid config, no deadlock");
+    /// assert!(r.termination.is_drained());
+    /// ```
+    pub fn workload_seed(mut self, seed: u64) -> Self {
+        self.seed_override = Some(seed);
+        self
+    }
+
     /// Runs the simulation to completion (or the cycle budget).
     ///
     /// # Errors
@@ -219,9 +254,12 @@ impl Simulation {
     /// window, and `InvariantViolation` when the drain-time conservation
     /// audit fails.
     pub fn run(&self) -> SimResult<RunResult> {
-        let report =
-            gpu_kernel::verify::verify_kernel(&self.kernel, self.cfg.core.warp_size as u32);
-        if let Some(err) = report.to_sim_error(self.kernel.name()) {
+        let kernel = match self.seed_override {
+            Some(seed) => self.kernel.clone().with_seed(seed),
+            None => self.kernel.clone(),
+        };
+        let report = gpu_kernel::verify::verify_kernel(&kernel, self.cfg.core.warp_size as u32);
+        if let Some(err) = report.to_sim_error(kernel.name()) {
             return Err(err);
         }
         let cfg = self.cfg.clone();
@@ -230,7 +268,7 @@ impl Simulation {
         let make_sched = move |_: SmId| sched.make(&cfg);
         let cfg2 = self.cfg.clone();
         let make_pf = move |_: SmId| pf.make(&cfg2);
-        let mut gpu = Gpu::new(&self.cfg, self.kernel.clone(), &make_sched, &make_pf)?;
+        let mut gpu = Gpu::new(&self.cfg, kernel, &make_sched, &make_pf)?;
         gpu.set_watchdog(self.watchdog);
         if let Some(plan) = &self.fault_plan {
             gpu.arm_faults(plan);
@@ -434,6 +472,36 @@ mod tests {
             .run()
             .expect_err("must deadlock");
         assert!(matches!(err, SimError::WatchdogTimeout { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn workload_seed_override_reseeds_pattern_randomness() {
+        // An irregular pattern draws addresses from the kernel seed, so two
+        // different overrides must diverge while equal overrides agree.
+        let k = || {
+            Kernel::builder("irregular")
+                .load(
+                    AddressPattern::irregular(0, 1 << 20, 1 << 12, 0.5),
+                    &[],
+                )
+                .alu(8, &[0])
+                .iterations(16)
+                .build()
+        };
+        let at = |seed: u64| {
+            Simulation::new(k())
+                .config(gpu_common::GpuConfig::small_test())
+                .workload_seed(seed)
+                .max_cycles(3_000_000)
+                .run()
+                .unwrap()
+        };
+        let a = at(gpu_common::rng::derive_seed(1, 0));
+        let b = at(gpu_common::rng::derive_seed(1, 0));
+        let c = at(gpu_common::rng::derive_seed(1, 1));
+        assert_eq!(a.cycles, b.cycles, "same derived seed must reproduce");
+        assert_eq!(a.l1, b.l1);
+        assert_ne!(a.cycles, c.cycles, "different derived seeds must diverge");
     }
 
     #[test]

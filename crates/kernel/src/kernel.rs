@@ -66,6 +66,19 @@ impl Kernel {
         self.seed
     }
 
+    /// Returns the same kernel re-seeded with `seed`.
+    ///
+    /// The body, patterns and iteration count are untouched; only the
+    /// pattern randomness (noise draws, irregular-region picks) changes.
+    /// Sweep harnesses use this for seed-perturbation studies: each job
+    /// re-seeds its kernel with a seed derived from the job index
+    /// ([`gpu_common::rng::derive_seed`]), keeping results independent of
+    /// worker scheduling.
+    pub fn with_seed(mut self, seed: u64) -> Kernel {
+        self.seed = seed;
+        self
+    }
+
     /// Number of dynamic warp-instructions one warp will execute.
     pub fn dynamic_len(&self) -> u64 {
         self.body.len() as u64 * self.iterations

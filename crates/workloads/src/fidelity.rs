@@ -106,39 +106,51 @@ impl FidelityRow {
     }
 }
 
+/// The distinct Table I applications that ship a synthetic workload, in
+/// first-appearance order — the unit of work when characterisation is
+/// parallelised (each app is characterised exactly once).
+pub fn fidelity_apps() -> Vec<Benchmark> {
+    let mut apps = Vec::new();
+    for paper in PAPER_TABLE_I {
+        let Some(bench) = Benchmark::ALL.into_iter().find(|b| b.label() == paper.app) else {
+            // Every Table I app ships a workload; a missing one just yields
+            // unmeasured rows rather than a panic.
+            continue;
+        };
+        if !apps.contains(&bench) {
+            apps.push(bench);
+        }
+    }
+    apps
+}
+
+/// Pairs every paper row with the measured profile for the same PC, given
+/// per-app characterisations (label, profiles) — typically produced by
+/// [`characterize`] over [`fidelity_apps`], serially or in parallel.
+pub fn fidelity_report_from(profiles: &[(&str, Vec<LoadProfile>)]) -> Vec<FidelityRow> {
+    PAPER_TABLE_I
+        .iter()
+        .map(|paper| {
+            let measured = profiles
+                .iter()
+                .find(|(app, _)| *app == paper.app)
+                .and_then(|(_, p)| p.iter().find(|p| p.pc == Pc(paper.pc)).cloned());
+            FidelityRow {
+                paper: *paper,
+                measured,
+            }
+        })
+        .collect()
+}
+
 /// Characterises every workload with a Table I presence and pairs each
 /// paper row with the measured profile for the same PC.
 pub fn fidelity_report(cfg: &GpuConfig) -> Vec<FidelityRow> {
-    let mut out = Vec::with_capacity(PAPER_TABLE_I.len());
-    let mut cache: Vec<(&str, Vec<LoadProfile>)> = Vec::new();
-    for paper in PAPER_TABLE_I {
-        let profiles = match cache.iter().find(|(app, _)| *app == paper.app) {
-            Some((_, p)) => p.clone(),
-            None => {
-                let Some(bench) = Benchmark::ALL
-                    .into_iter()
-                    .find(|b| b.label() == paper.app)
-                else {
-                    // Every Table I app ships a workload; a missing one just
-                    // yields an unmeasured row rather than a panic.
-                    out.push(FidelityRow {
-                        paper: *paper,
-                        measured: None,
-                    });
-                    continue;
-                };
-                let p = characterize(&bench.kernel(), cfg, None);
-                cache.push((paper.app, p.clone()));
-                p
-            }
-        };
-        let measured = profiles.iter().find(|p| p.pc == Pc(paper.pc)).cloned();
-        out.push(FidelityRow {
-            paper: *paper,
-            measured,
-        });
-    }
-    out
+    let profiles: Vec<(&str, Vec<LoadProfile>)> = fidelity_apps()
+        .into_iter()
+        .map(|b| (b.label(), characterize(&b.kernel(), cfg, None)))
+        .collect();
+    fidelity_report_from(&profiles)
 }
 
 #[cfg(test)]

@@ -21,5 +21,5 @@ pub mod spec;
 
 pub use benchmarks::{Benchmark, Category};
 pub use characterize::{characterize, LoadProfile};
-pub use fidelity::{fidelity_report, FidelityRow, PAPER_TABLE_I};
+pub use fidelity::{fidelity_apps, fidelity_report, fidelity_report_from, FidelityRow, PAPER_TABLE_I};
 pub use spec::{InstrSpec, KernelSpec, PatternSpec};

@@ -1,7 +1,7 @@
 # Developer entry points. `just check` is the pre-merge gate.
 
-# Build + test + lint, exactly what CI runs.
-check: build test clippy lint-kernels
+# Build + test + lint + docs + determinism smoke, exactly what CI runs.
+check: build test clippy lint-kernels doc bench-smoke
 
 build:
     cargo build --release --workspace --bins --examples --benches
@@ -19,6 +19,17 @@ clippy:
 # clippy's -D warnings.
 lint-kernels:
     cargo run --release -p apres-bench --bin kernel-lint -- --deny-warnings --oracle
+
+# API docs must build warning-free (gpu-common and apres-core additionally
+# deny missing docs at compile time).
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# Determinism gate of the parallel sweep harness: every bench binary at
+# the minimal scale must print byte-identical output under --jobs 1 and
+# --jobs 2 (needs `just build` first; `check` orders them correctly).
+bench-smoke:
+    bash scripts/bench_smoke.sh
 
 # Regenerate every paper exhibit at reduced scale (smoke test of the
 # figure pipeline; skipped data points are reported on stderr).

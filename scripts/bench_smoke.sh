@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# `just bench-smoke` — the determinism gate of the parallel sweep harness.
+#
+# Runs every bench binary at the minimal (--tiny) scale twice, once with
+# `--jobs 1` and once with `--jobs 2`, and byte-compares stdout; for the
+# binaries that emit JSON artifacts it byte-compares those too. Any
+# difference means the harness leaked thread-scheduling order into the
+# output, which is a bug (see DESIGN.md §10).
+#
+# probe runs with --no-time because its wall-clock columns are the one
+# deliberately non-deterministic output.
+set -u
+cd "$(dirname "$0")/.."
+BIN=target/release
+fail=0
+
+compare() {
+  local name="$1"
+  shift
+  local out1 out2 rc
+  out1="$("$BIN/$name" "$@" --jobs 1 2>/dev/null)"
+  rc=$?
+  if [ $rc -ne 0 ]; then
+    echo "FAIL $name: --jobs 1 exited $rc"
+    fail=1
+    return
+  fi
+  out2="$("$BIN/$name" "$@" --jobs 2 2>/dev/null)"
+  rc=$?
+  if [ $rc -ne 0 ]; then
+    echo "FAIL $name: --jobs 2 exited $rc"
+    fail=1
+    return
+  fi
+  if [ "$out1" = "$out2" ]; then
+    echo "ok   $name"
+  else
+    echo "FAIL $name: stdout differs between --jobs 1 and --jobs 2"
+    diff <(printf '%s\n' "$out1") <(printf '%s\n' "$out2") | head -10
+    fail=1
+  fi
+}
+
+json_compare() {
+  local name="$1"
+  shift
+  local d1 d2
+  d1=$(mktemp -d)
+  d2=$(mktemp -d)
+  "$BIN/$name" "$@" --jobs 1 --json "$d1" >/dev/null 2>&1
+  "$BIN/$name" "$@" --jobs 2 --json "$d2" >/dev/null 2>&1
+  if diff -r "$d1" "$d2" >/dev/null 2>&1 && [ -n "$(ls -A "$d1")" ]; then
+    echo "ok   $name (json artifacts)"
+  else
+    echo "FAIL $name: JSON artifacts differ (or none were written)"
+    fail=1
+  fi
+  rm -rf "$d1" "$d2"
+}
+
+# Every exhibit and study binary, at the scale bench-smoke exercises.
+compare fig2 --tiny
+compare fig3 --tiny
+compare fig4 --tiny
+compare fig10 --tiny
+compare fig11 --tiny
+compare fig12 --tiny
+compare fig13 --tiny
+compare fig14 --tiny
+compare fig15 --tiny
+compare table1 --tiny
+compare table2 --tiny
+compare table3 --tiny
+compare sweep --tiny
+compare diag --tiny SRAD
+compare probe --tiny --no-time
+compare fidelity
+compare ablation_apres --tiny
+compare ablation_substrate --tiny
+compare bypass_study --tiny
+compare kernel-lint --oracle
+
+# JSON artifacts must be byte-identical too (exhibit + sweep shapes).
+json_compare fig10 --tiny
+json_compare fig12 --tiny
+json_compare sweep --tiny
+
+if [ $fail -ne 0 ]; then
+  echo "bench-smoke: FAILED"
+  exit 1
+fi
+echo "bench-smoke: all binaries byte-identical across --jobs values"
