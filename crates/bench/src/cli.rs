@@ -10,6 +10,10 @@
 //!   `DIR/<name>.csv` / `DIR/<name>.json`;
 //! * `--seed S` — seed-perturbation mode: each job re-seeds its kernel
 //!   with `derive_seed(S, job_index)` (see [`crate::harness`]);
+//! * `--cache DIR` — verified result cache: jobs whose spec hash already
+//!   has a cache entry are served from disk (after hash verification);
+//!   misses are computed and stored, so re-running an exhibit after a
+//!   change recomputes only the changed jobs (see [`crate::cache`]);
 //! * `--no-time` — suppress wall-clock columns (binaries that print any),
 //!   so output is byte-comparable across runs;
 //! * positional arguments — benchmark names for the binaries that take
@@ -34,6 +38,8 @@ pub struct BenchArgs {
     pub json: Option<String>,
     /// Base seed for per-job kernel re-seeding (`--seed S`).
     pub seed: Option<u64>,
+    /// Directory of the verified result cache (`--cache DIR`).
+    pub cache: Option<String>,
     /// Suppress wall-clock output columns (`--no-time`).
     pub no_time: bool,
     /// Non-flag arguments, in order.
@@ -50,7 +56,7 @@ impl BenchArgs {
                 eprintln!("{msg}");
                 eprintln!(
                     "usage: [--fast | --tiny] [--jobs N] [--csv DIR] [--json DIR] \
-                     [--seed S] [--no-time] [ARGS...]"
+                     [--seed S] [--cache DIR] [--no-time] [ARGS...]"
                 );
                 std::process::exit(2);
             }
@@ -70,6 +76,7 @@ impl BenchArgs {
             csv: None,
             json: None,
             seed: None,
+            cache: None,
             no_time: false,
             positional: Vec::new(),
         };
@@ -102,6 +109,9 @@ impl BenchArgs {
                 }
                 "--json" => {
                     out.json = Some(args.next().ok_or("--json requires a directory")?);
+                }
+                "--cache" => {
+                    out.cache = Some(args.next().ok_or("--cache requires a directory")?);
                 }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
@@ -153,6 +163,7 @@ mod tests {
         assert_eq!(a.csv, None);
         assert_eq!(a.json, None);
         assert_eq!(a.seed, None);
+        assert_eq!(a.cache, None);
         assert!(!a.no_time);
         assert!(a.positional.is_empty());
     }
@@ -179,6 +190,14 @@ mod tests {
     fn json_dir() {
         let a = parse(&["--json", "results/json"]).unwrap();
         assert_eq!(a.json.as_deref(), Some("results/json"));
+    }
+
+    #[test]
+    fn cache_dir() {
+        let a = parse(&["--cache", "results/cache", "--tiny"]).unwrap();
+        assert_eq!(a.cache.as_deref(), Some("results/cache"));
+        assert_eq!(a.scale, Scale::Tiny);
+        assert!(parse(&["--cache"]).unwrap_err().contains("directory"));
     }
 
     #[test]

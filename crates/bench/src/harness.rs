@@ -22,16 +22,26 @@
 //!   is captured, not
 //!   propagated: the data point becomes `None` (skipped, reported on
 //!   stderr with its error class) and the rest of the sweep is unaffected,
-//!   exactly like the serial crash-safe runner.
+//!   exactly like the serial crash-safe runner. A job that *panics* is
+//!   isolated the same way: each job runs under `catch_unwind`, the panic
+//!   becomes a typed `InvariantViolation` naming the job index and the
+//!   panic payload, and the worker thread survives to run the next job.
+//! * **Verified result caching.** With `--cache DIR`
+//!   ([`SimSweep::with_cache`]), each standard point's [`JobSpec`] is
+//!   content-hashed; stored entries are served after re-verifying the
+//!   payload hash on every read ([`crate::cache`]), so re-running an
+//!   exhibit recomputes only jobs whose spec changed. Cache traffic is
+//!   summarised on stderr and in [`SweepResults::cache`].
 //!
 //! Progress (jobs done, sims/sec, aggregate simulated cycles/sec) is
 //! reported live on stderr when it is a terminal, and always as one final
 //! summary line — stdout stays clean for the exhibit tables, which is what
 //! `just bench-smoke` byte-compares across `--jobs` values.
 
+use crate::cache::{JobSpec, Lookup, ResultCache};
 use crate::{report_outcome, Combo, Scale};
 use gpu_common::config::GpuConfig;
-use gpu_common::error::SimResult;
+use gpu_common::error::{SimError, SimResult};
 use gpu_common::rng::SeedStream;
 use gpu_common::stats::Throughput;
 use gpu_sm::RunResult;
@@ -72,8 +82,12 @@ pub struct SimSweep {
     name: String,
     labels: Vec<String>,
     jobs: Vec<SimJobFn>,
+    /// Parallel to `jobs`: the cacheable spec of each standard point
+    /// (`None` for [`SimSweep::add_fn`] customs, which the cache skips).
+    specs: Vec<Option<JobSpec>>,
     seeds: SeedStream,
     reseed: bool,
+    cache: Option<ResultCache>,
 }
 
 impl SimSweep {
@@ -83,19 +97,38 @@ impl SimSweep {
             name: name.into(),
             labels: Vec::new(),
             jobs: Vec::new(),
+            specs: Vec::new(),
             seeds: SeedStream::new(DEFAULT_BASE_SEED),
             reseed: false,
+            cache: None,
         }
     }
 
     /// Builds a sweep from parsed [`crate::cli::BenchArgs`]: applies
-    /// `--seed` (per-job kernel re-seeding) when present.
+    /// `--seed` (per-job kernel re-seeding) and `--cache` (verified result
+    /// cache) when present. An unopenable cache directory is a warning,
+    /// not an error — the sweep then recomputes everything.
     pub fn from_args(name: impl Into<String>, args: &crate::cli::BenchArgs) -> Self {
         let mut sweep = SimSweep::new(name);
         if let Some(base) = args.seed {
             sweep = sweep.reseed_from(base);
         }
+        if let Some(dir) = &args.cache {
+            match ResultCache::open(dir) {
+                Ok(cache) => sweep = sweep.with_cache(cache),
+                Err(e) => eprintln!("warning: --cache {dir}: {e}; running uncached"),
+            }
+        }
         sweep
+    }
+
+    /// Attaches a verified result cache: standard points whose spec is
+    /// already stored are served from disk (every read re-verifies the
+    /// payload hash); misses and evicted entries are recomputed and
+    /// stored. Custom [`SimSweep::add_fn`] jobs always run.
+    pub fn with_cache(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Enables seed-perturbation mode: every standard job re-seeds its
@@ -134,14 +167,19 @@ impl SimSweep {
         scale: Scale,
         cfg: &GpuConfig,
     ) -> JobId {
+        let spec = JobSpec::new(bench, combo, scale, cfg);
         let cfg = cfg.clone();
-        self.add_fn(label, move |ctx| {
+        let id = self.add_fn(label, move |ctx| {
             let mut sim = crate::simulation_for(bench, combo, scale, &cfg);
             if ctx.reseed {
                 sim = sim.workload_seed(ctx.seed);
             }
             sim.run()
-        })
+        });
+        // Standard points are cacheable; record the spec alongside the job
+        // (the per-job seed is folded in at run time, when it is known).
+        self.specs[id.0] = Some(spec);
+        id
     }
 
     /// Enqueues a custom job; `label` names the point in stderr
@@ -155,6 +193,7 @@ impl SimSweep {
         let id = JobId(self.jobs.len());
         self.labels.push(label.into());
         self.jobs.push(Box::new(f));
+        self.specs.push(None);
         id
     }
 
@@ -177,25 +216,46 @@ impl SimSweep {
             name,
             labels,
             jobs: tasks,
+            specs,
             seeds,
             reseed,
+            cache,
         } = self;
         let total = tasks.len();
         let started = Instant::now();
         let progress = Progress::new(&name, total, jobs);
-        let outcomes = run_ordered(jobs, tasks, |index, task| {
+        let counters = CacheCounters::default();
+        let items: Vec<(SimJobFn, Option<JobSpec>)> =
+            tasks.into_iter().zip(specs).collect();
+        let outcomes = run_ordered(jobs, items, |index, (task, spec)| {
             let ctx = JobCtx {
                 index,
                 total,
                 seed: seeds.seed(index as u64),
                 reseed,
             };
-            let outcome = task(&ctx);
+            // The cache key must describe the job exactly as it will run,
+            // so fold the per-job seed in under `--seed`.
+            let spec = spec.map(|s| if reseed { s.with_seed(ctx.seed) } else { s });
+            let outcome = run_one(&ctx, task, spec.as_ref(), cache.as_ref(), &counters);
             progress.on_done(&outcome);
             outcome
         });
         let elapsed = started.elapsed();
         let throughput = progress.finish(elapsed);
+        let cache_summary = cache.map(|c| {
+            let summary = counters.summary();
+            eprintln!(
+                "[{}] cache: {} hit(s), {} miss(es), {} evicted, {} store failure(s) ({})",
+                name,
+                summary.hits,
+                summary.misses,
+                summary.evicted,
+                summary.store_failures,
+                c.dir().display(),
+            );
+            summary
+        });
         // Replay the crash-safe diagnostics in submission order so stderr
         // is as deterministic as stdout.
         let results = outcomes
@@ -207,8 +267,109 @@ impl SimSweep {
             results,
             throughput,
             elapsed,
+            cache: cache_summary,
         }
     }
+}
+
+/// Executes one job: verified cache lookup, panic-isolated compute, store.
+fn run_one(
+    ctx: &JobCtx,
+    task: SimJobFn,
+    spec: Option<&JobSpec>,
+    cache: Option<&ResultCache>,
+    counters: &CacheCounters,
+) -> SimResult<RunResult> {
+    if let (Some(cache), Some(spec)) = (cache, spec) {
+        match cache.lookup(spec) {
+            Lookup::Hit(result) => {
+                counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(*result);
+            }
+            Lookup::Miss => {
+                counters.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            Lookup::Corrupt { detail } => {
+                counters.evicted.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "warning: evicted corrupt cache entry for job {}: {detail}",
+                    spec.hash_hex()
+                );
+            }
+        }
+    }
+    let outcome = catch_sim_panic(ctx.index, move || task(ctx));
+    if let (Some(cache), Some(spec), Ok(result)) = (cache, spec, &outcome) {
+        if let Err(e) = cache.store(spec, result) {
+            counters.store_failures.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "warning: could not store cache entry for job {}: {e}",
+                spec.hash_hex()
+            );
+        }
+    }
+    outcome
+}
+
+/// Runs a job closure with panic isolation: a panicking job becomes a
+/// typed [`SimError::InvariantViolation`] naming the job index and the
+/// panic payload, and the rest of the sweep is unaffected — a worker
+/// thread never dies mid-sweep.
+fn catch_sim_panic(
+    index: usize,
+    f: impl FnOnce() -> SimResult<RunResult>,
+) -> SimResult<RunResult> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(SimError::invariant(
+            "worker-panic",
+            format!("job {index} panicked: {}", panic_payload_str(payload.as_ref())),
+            0,
+        )),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (the two shapes the
+/// standard panic machinery produces, else a placeholder).
+fn panic_payload_str(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
+/// Worker-shared cache traffic counters.
+#[derive(Default)]
+struct CacheCounters {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evicted: AtomicUsize,
+    store_failures: AtomicUsize,
+}
+
+impl CacheCounters {
+    fn summary(&self) -> CacheSummary {
+        CacheSummary {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            store_failures: self.store_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cache traffic of one sweep run (present when a cache was attached).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSummary {
+    /// Jobs served from a verified cache entry without recomputation.
+    pub hits: usize,
+    /// Jobs computed because no entry existed.
+    pub misses: usize,
+    /// Entries that failed verification and were evicted (then recomputed).
+    pub evicted: usize,
+    /// Results that computed fine but could not be persisted.
+    pub store_failures: usize,
 }
 
 /// Results of a sweep, indexed by the [`JobId`]s handed out at enqueue
@@ -219,6 +380,8 @@ pub struct SweepResults {
     pub throughput: Throughput,
     /// Wall-clock time the sweep took.
     pub elapsed: Duration,
+    /// Cache traffic, when a result cache was attached.
+    pub cache: Option<CacheSummary>,
 }
 
 impl SweepResults {
@@ -500,6 +663,95 @@ mod tests {
         assert_eq!(run_with_base(7, 1), run_with_base(7, 3));
         // KM's irregular hot-region draws make the seed observable.
         assert_ne!(run_with_base(7, 1), run_with_base(8, 1));
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_as_typed_error() {
+        let mut sweep = SimSweep::new("test");
+        let ok_before = sweep.add(Benchmark::Hs, BASELINE, Scale::Tiny);
+        let boom = sweep.add_fn("boom", |_| {
+            std::panic::panic_any("synthetic job panic".to_string());
+        });
+        let ok_after = sweep.add(Benchmark::Km, BASELINE, Scale::Tiny);
+        // Quiet the default panic hook for the intentional panic.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = sweep.run(2);
+        std::panic::set_hook(hook);
+        // The panic became a skipped point; its neighbours are unharmed.
+        assert!(r.get(boom).is_none());
+        assert!(r.get(ok_before).is_some());
+        assert!(r.get(ok_after).is_some());
+        assert_eq!(r.completed(), 2);
+    }
+
+    #[test]
+    fn panic_payload_and_index_are_reported() {
+        let err = catch_sim_panic(7, || std::panic::panic_any("kaboom".to_string()))
+            .expect_err("panic must become an error");
+        assert_eq!(err.class(), "invariant-violation");
+        let text = err.to_string();
+        assert!(text.contains("job 7"), "{text}");
+        assert!(text.contains("kaboom"), "{text}");
+    }
+
+    #[test]
+    fn cached_rerun_hits_everything_and_is_identical() {
+        let dir = std::env::temp_dir().join(format!(
+            "apres-harness-cache-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run_once = || {
+            let mut sweep = SimSweep::new("test")
+                .with_cache(ResultCache::open(&dir).expect("open cache"));
+            let ids: Vec<JobId> = Benchmark::ALL
+                .iter()
+                .take(3)
+                .map(|b| sweep.add(*b, BASELINE, Scale::Tiny))
+                .collect();
+            let r = sweep.run(2);
+            let cycles: Vec<Option<u64>> =
+                ids.iter().map(|id| r.get(*id).map(|x| x.cycles)).collect();
+            (r.cache.expect("cache summary present"), cycles)
+        };
+        let (cold, cold_cycles) = run_once();
+        assert_eq!(cold.misses, 3);
+        assert_eq!(cold.hits, 0);
+        let (warm, warm_cycles) = run_once();
+        assert_eq!(warm.hits, 3, "second run must be 100% cache hits");
+        assert_eq!(warm.misses, 0);
+        assert_eq!(warm_cycles, cold_cycles);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reseeded_jobs_get_distinct_cache_keys() {
+        let dir = std::env::temp_dir().join(format!(
+            "apres-harness-reseed-cache-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run_with_base = |base: u64| {
+            let mut sweep = SimSweep::new("test")
+                .reseed_from(base)
+                .with_cache(ResultCache::open(&dir).expect("open cache"));
+            let id = sweep.add(Benchmark::Km, BASELINE, Scale::Tiny);
+            let r = sweep.run(1);
+            (r.cache.expect("summary"), r.get(id).map(|x| x.cycles))
+        };
+        // Different base seed ⇒ different spec hash ⇒ no false hit.
+        let (c7, r7) = run_with_base(7);
+        let (c8, r8) = run_with_base(8);
+        assert_eq!(c7.misses, 1);
+        assert_eq!(c8.misses, 1);
+        assert_eq!(c8.hits, 0, "a reseeded job must never hit another seed's entry");
+        assert_ne!(r7, r8);
+        // Same base again: a true hit with the identical result.
+        let (c7b, r7b) = run_with_base(7);
+        assert_eq!(c7b.hits, 1);
+        assert_eq!(r7b, r7);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

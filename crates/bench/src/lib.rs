@@ -44,11 +44,13 @@ use gpu_common::json::Json;
 use gpu_sm::RunResult;
 use gpu_workloads::Benchmark;
 
+pub mod cache;
 pub mod cli;
 pub mod harness;
 
+pub use cache::{JobSpec, Lookup, ResultCache, CACHE_FORMAT_VERSION};
 pub use cli::BenchArgs;
-pub use harness::{map_parallel, JobCtx, JobId, SimSweep, SweepResults};
+pub use harness::{map_parallel, CacheSummary, JobCtx, JobId, SimSweep, SweepResults};
 
 /// Resolves a benchmark label (case-insensitive) or exits with the known
 /// list on stderr — shared by the binaries that take an `APP` positional.
@@ -119,6 +121,23 @@ impl Scale {
         } else {
             Scale::Paper
         }
+    }
+
+    /// Lower-case scale name (cache canonicalisation, job specs on the
+    /// wire): `"paper"`, `"fast"`, `"tiny"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Fast => "fast",
+            Scale::Tiny => "tiny",
+        }
+    }
+
+    /// Parses a scale name (case-insensitive); inverse of [`Scale::label`].
+    pub fn from_label(name: &str) -> Option<Scale> {
+        [Scale::Paper, Scale::Fast, Scale::Tiny]
+            .into_iter()
+            .find(|s| s.label().eq_ignore_ascii_case(name))
     }
 
     /// GPU configuration at this scale.

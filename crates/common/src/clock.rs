@@ -1,0 +1,147 @@
+//! Wall-clock abstraction with a deterministic virtual implementation.
+//!
+//! The service layer (`apres-serve`) measures per-job deadlines and spaces
+//! retry attempts with exponential backoff. Both behaviours must be
+//! *testable deterministically*: a unit test that really slept through a
+//! backoff schedule would be slow and flaky. So every time-dependent
+//! service component takes a `&dyn Clock`:
+//!
+//! * [`WallClock`] is the production implementation —
+//!   [`std::time::Instant`] plus [`std::thread::sleep`];
+//! * [`VirtualClock`] advances an atomic counter instantly and records
+//!   every sleep, so tests assert the *exact* backoff schedule (and a
+//!   "stalled job" fault can push a job past its deadline without any real
+//!   waiting).
+//!
+//! Implementations must be [`Sync`]: one clock is shared by every worker
+//! thread of a batch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A monotonic millisecond clock that can also sleep.
+pub trait Clock: Sync {
+    /// Milliseconds since the clock's epoch (process start or construction).
+    fn now_ms(&self) -> u64;
+
+    /// Blocks (or pretends to block) for `ms` milliseconds.
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// The real clock: monotonic time since construction, real sleeps.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl WallClock {
+    /// Starts a wall clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// A deterministic clock for tests: "time" is an atomic counter, sleeping
+/// advances it instantly, and every sleep is recorded in order.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: AtomicU64,
+    sleeps: Mutex<Vec<u64>>,
+}
+
+impl VirtualClock {
+    /// Starts a virtual clock at t = 0 ms.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Advances the clock without recording a sleep (models work taking
+    /// time, e.g. a stalled job burning through its deadline).
+    pub fn advance_ms(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+
+    /// Every sleep duration requested so far, in call order.
+    pub fn sleeps(&self) -> Vec<u64> {
+        self.sleeps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Sum of all sleeps so far.
+    pub fn total_slept_ms(&self) -> u64 {
+        self.sleeps().iter().sum()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+        self.sleeps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_instantly() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.sleep_ms(250);
+        c.advance_ms(50);
+        c.sleep_ms(500);
+        assert_eq!(c.now_ms(), 800);
+        assert_eq!(c.sleeps(), vec![250, 500]);
+        assert_eq!(c.total_slept_ms(), 750);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clock_is_object_safe_and_shared() {
+        let c = VirtualClock::new();
+        let dyn_clock: &dyn Clock = &c;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| dyn_clock.sleep_ms(10));
+            }
+        });
+        assert_eq!(c.now_ms(), 40);
+        assert_eq!(c.sleeps().len(), 4);
+    }
+}

@@ -255,6 +255,91 @@ impl FaultState {
     }
 }
 
+/// Service-level fault classes, extending the in-sim [`FaultPlan`] to the
+/// batch-service layer (`apres-serve`): killing a worker mid-job,
+/// stalling a job past its deadline, and corrupting or truncating a
+/// persisted cache entry. Like [`FaultPlan`], the plan is pure data and
+/// every fault is a deterministic function of it — targeted by job
+/// *submission index*, so the same plan injects the same faults at any
+/// worker count. Each degradation path of the service is exercised in
+/// tests and in `scripts/serve_smoke.sh` through this plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceFaultPlan {
+    /// Panic the worker running this job index — on the first attempt
+    /// only, so a retry budget ≥ 2 must recover the job.
+    pub kill_job: Option<usize>,
+    /// Stall this job index's first attempt past its deadline (the service
+    /// advances its clock by the job's full deadline plus one), forcing a
+    /// typed `JobTimeout` and a retry.
+    pub stall_job: Option<usize>,
+    /// Flip bytes in this job index's persisted cache entry before the
+    /// batch runs (the verified read path must evict and recompute).
+    pub corrupt_entry: Option<usize>,
+    /// Truncate this job index's persisted cache entry before the batch
+    /// runs (the read path must treat it as corrupt, not serve a prefix).
+    pub truncate_entry: Option<usize>,
+}
+
+/// Panic payload used by [`ServiceFaultPlan::kill_worker_now`]; the service
+/// layer's `catch_unwind` recognises any string payload, this one included.
+pub const WORKER_KILL_PAYLOAD: &str = "injected fault: worker killed mid-job";
+
+impl ServiceFaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        ServiceFaultPlan::default()
+    }
+
+    /// `true` when the plan cannot inject any fault.
+    pub fn is_benign(&self) -> bool {
+        self.kill_job.is_none()
+            && self.stall_job.is_none()
+            && self.corrupt_entry.is_none()
+            && self.truncate_entry.is_none()
+    }
+
+    /// Builder: kill the worker on job `index`'s first attempt.
+    pub fn killing_job(mut self, index: usize) -> Self {
+        self.kill_job = Some(index);
+        self
+    }
+
+    /// Builder: stall job `index`'s first attempt past its deadline.
+    pub fn stalling_job(mut self, index: usize) -> Self {
+        self.stall_job = Some(index);
+        self
+    }
+
+    /// Builder: corrupt job `index`'s cache entry before serving.
+    pub fn corrupting_entry(mut self, index: usize) -> Self {
+        self.corrupt_entry = Some(index);
+        self
+    }
+
+    /// Builder: truncate job `index`'s cache entry before serving.
+    pub fn truncating_entry(mut self, index: usize) -> Self {
+        self.truncate_entry = Some(index);
+        self
+    }
+
+    /// Should job `index`'s attempt `attempt` (1-based) be killed?
+    pub fn should_kill(&self, index: usize, attempt: u32) -> bool {
+        self.kill_job == Some(index) && attempt == 1
+    }
+
+    /// Should job `index`'s attempt `attempt` (1-based) be stalled?
+    pub fn should_stall(&self, index: usize, attempt: u32) -> bool {
+        self.stall_job == Some(index) && attempt == 1
+    }
+
+    /// Kills the current worker with a recognisable panic payload. The
+    /// service's panic isolation converts this into a typed
+    /// `SimError::InvariantViolation` and the retry path re-runs the job.
+    pub fn kill_worker_now() -> ! {
+        std::panic::panic_any(WORKER_KILL_PAYLOAD)
+    }
+}
+
 /// Deterministically perturbs one geometry/size field of `cfg`, returning a
 /// description of the mutation. Used by property tests to prove that
 /// [`GpuConfig::validate`] (not a panic deep in construction) rejects every
@@ -370,6 +455,27 @@ mod tests {
             let what = fuzz_config(&mut cfg, &mut rng);
             assert!(cfg.validate().is_err(), "{what} must fail validation");
         }
+    }
+
+    #[test]
+    fn service_plan_targets_first_attempt_only() {
+        let plan = ServiceFaultPlan::none().killing_job(3).stalling_job(5);
+        assert!(!plan.is_benign());
+        assert!(plan.should_kill(3, 1));
+        assert!(!plan.should_kill(3, 2), "retry must not be re-killed");
+        assert!(!plan.should_kill(4, 1));
+        assert!(plan.should_stall(5, 1));
+        assert!(!plan.should_stall(5, 2));
+        assert!(ServiceFaultPlan::none().is_benign());
+        assert!(ServiceFaultPlan::default().is_benign());
+    }
+
+    #[test]
+    fn kill_worker_panics_with_recognisable_payload() {
+        let caught = std::panic::catch_unwind(|| ServiceFaultPlan::kill_worker_now())
+            .expect_err("must panic");
+        let msg = caught.downcast_ref::<&str>().copied();
+        assert_eq!(msg, Some(WORKER_KILL_PAYLOAD));
     }
 
     #[test]

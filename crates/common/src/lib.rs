@@ -21,19 +21,25 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod check;
+pub mod clock;
 pub mod config;
 pub mod diag;
 pub mod error;
 pub mod fault;
+pub mod hash;
 pub mod ids;
 pub mod json;
+pub mod retry;
 pub mod rng;
 pub mod stats;
 
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use config::GpuConfig;
 pub use diag::{Diagnostic, Report, Severity};
 pub use error::{DeadlockDiagnosis, SimError, SimResult, StallReason, StalledWarp};
-pub use fault::{FaultCounters, FaultPlan, FaultState};
+pub use fault::{FaultCounters, FaultPlan, FaultState, ServiceFaultPlan};
+pub use hash::{content_hash, content_hash_str, hash_hex, short_hex, ContentHasher};
 pub use ids::{Addr, Cycle, LineAddr, Pc, SmId, WarpId};
+pub use retry::RetryPolicy;
 pub use rng::{derive_seed, SeedStream, Xoshiro256};
 pub use stats::Throughput;

@@ -1,0 +1,134 @@
+//! Bounded retry with deterministic exponential backoff.
+//!
+//! The service layer re-runs failed jobs a bounded number of times, waiting
+//! between attempts. Because every simulation is a pure function of its
+//! spec, retrying is always safe — and because the backoff schedule is a
+//! *pure function of the policy and the attempt number* (no randomized
+//! jitter, no reads of ambient time), two runs of the same batch retry
+//! identically and unit tests can assert the exact schedule against a
+//! [`crate::clock::VirtualClock`].
+
+/// Retry policy: how many attempts a job gets and how long to wait between
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Multiplier applied per further retry (2 = classic doubling).
+    pub factor: u64,
+    /// Ceiling on any single backoff delay.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 100,
+            factor: 2,
+            max_delay_ms: 10_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Builder: sets the total attempt budget (clamped to at least 1).
+    pub fn attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Builder: sets the base backoff delay.
+    pub fn base_delay(mut self, ms: u64) -> Self {
+        self.base_delay_ms = ms;
+        self
+    }
+
+    /// The backoff delay *after* failed attempt `attempt` (1-based), or
+    /// `None` when the budget is exhausted and the job must fail for good.
+    ///
+    /// The schedule is `base · factor^(attempt-1)`, saturating, capped at
+    /// [`RetryPolicy::max_delay_ms`] — a pure function, so it is identical
+    /// on every run and every worker.
+    pub fn delay_after_ms(&self, attempt: u32) -> Option<u64> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        let exp = attempt.saturating_sub(1);
+        let mult = self.factor.saturating_pow(exp.min(63));
+        Some(self.base_delay_ms.saturating_mul(mult).min(self.max_delay_ms))
+    }
+
+    /// The full backoff schedule (one delay per retry the policy allows).
+    pub fn schedule_ms(&self) -> Vec<u64> {
+        (1..self.max_attempts)
+            .filter_map(|a| self.delay_after_ms(a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_exact_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 100,
+            factor: 2,
+            max_delay_ms: 10_000,
+        };
+        assert_eq!(p.schedule_ms(), vec![100, 200, 400, 800]);
+        assert_eq!(p.delay_after_ms(1), Some(100));
+        assert_eq!(p.delay_after_ms(4), Some(800));
+        assert_eq!(p.delay_after_ms(5), None, "budget exhausted");
+    }
+
+    #[test]
+    fn cap_applies() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_delay_ms: 1_000,
+            factor: 10,
+            max_delay_ms: 5_000,
+        };
+        assert_eq!(p.schedule_ms(), vec![1_000, 5_000, 5_000, 5_000, 5_000]);
+    }
+
+    #[test]
+    fn no_retries_policy() {
+        let p = RetryPolicy::no_retries();
+        assert_eq!(p.max_attempts, 1);
+        assert!(p.schedule_ms().is_empty());
+        assert_eq!(p.delay_after_ms(1), None);
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let p = RetryPolicy::default().attempts(0).base_delay(7);
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.base_delay_ms, 7);
+    }
+
+    #[test]
+    fn huge_exponents_saturate_not_overflow() {
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_delay_ms: u64::MAX,
+            factor: u64::MAX,
+            max_delay_ms: u64::MAX,
+        };
+        assert_eq!(p.delay_after_ms(200), Some(u64::MAX));
+    }
+}

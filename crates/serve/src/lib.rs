@@ -1,0 +1,40 @@
+//! Fault-tolerant batch simulation service (`apres-serve`).
+//!
+//! Every simulation in this workspace is a pure function of its job spec,
+//! which makes "simulation as a service" mostly a caching and robustness
+//! problem — exactly the two things this crate supplies on top of the
+//! [`apres_bench`] harness:
+//!
+//! * [`batch`] — the JSON batch request/response documents: a named list
+//!   of [`apres_bench::JobSpec`]s, submitted as a file (or a directory of
+//!   files acting as a queue — std-only, no network);
+//! * [`service`] — [`service::serve_batch`]: content-hashes each spec,
+//!   serves known hashes from a persistent **verified** result cache
+//!   ([`apres_bench::ResultCache`] — every read re-checks the payload
+//!   hash; corrupt or truncated entries are evicted and recomputed),
+//!   shards misses across a worker pool, and survives per-job failure:
+//!
+//!   * worker panics are isolated with `catch_unwind` and become typed
+//!     [`gpu_common::SimError::InvariantViolation`]s;
+//!   * slow jobs are bounded by a per-job deadline
+//!     ([`gpu_common::SimError::JobTimeout`]) — in-simulation hangs are
+//!     already diagnosed by the forward-progress watchdog inside the run;
+//!   * failed attempts retry on a bounded, deterministic exponential
+//!     backoff schedule ([`gpu_common::RetryPolicy`] over a
+//!     [`gpu_common::Clock`], so tests assert exact schedules against a
+//!     [`gpu_common::VirtualClock`]);
+//!   * a batch **degrades gracefully**: K failed jobs yield N−K good
+//!     results plus a typed per-job failure report, never an abort.
+//!
+//! Determinism is preserved end to end: the response document contains
+//! only spec hashes and result payloads (never timings, attempt counts,
+//! or cache provenance), so a batch served warm from cache, cold, or
+//! through the fault matrix of [`gpu_common::ServiceFaultPlan`] is
+//! byte-identical — `scripts/serve_smoke.sh` enforces this in `just
+//! check`.
+
+pub mod batch;
+pub mod service;
+
+pub use batch::Batch;
+pub use service::{serve_batch, BatchReport, JobReport, ServeOptions, ServeStats};

@@ -18,6 +18,7 @@
 //! hand a warp group to the prefetcher; the prefetcher reports back the
 //! warps it targeted so the scheduler can prioritise them.
 
+pub mod codec;
 pub mod gpu;
 pub mod lsu;
 pub mod sm;

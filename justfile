@@ -1,7 +1,8 @@
 # Developer entry points. `just check` is the pre-merge gate.
 
-# Build + test + lint + docs + determinism smoke, exactly what CI runs.
-check: build test clippy lint-kernels doc bench-smoke
+# Build + test + lint + docs + determinism + fault-tolerance smoke,
+# exactly what CI runs.
+check: build test clippy lint-kernels doc bench-smoke serve-smoke
 
 build:
     cargo build --release --workspace --bins --examples --benches
@@ -30,6 +31,13 @@ doc:
 # --jobs 2 (needs `just build` first; `check` orders them correctly).
 bench-smoke:
     bash scripts/bench_smoke.sh
+
+# Fault-tolerance gate of the batch service: a batch served cold, warm
+# from the verified result cache, or through the injected fault matrix
+# (corrupt/truncated cache entry, killed worker, stalled job) must be
+# byte-identical to a direct harness run (needs `just build` first).
+serve-smoke:
+    bash scripts/serve_smoke.sh
 
 # Regenerate every paper exhibit at reduced scale (smoke test of the
 # figure pipeline; skipped data points are reported on stderr).

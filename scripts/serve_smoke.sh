@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# `just serve-smoke` — the fault-tolerance gate of the batch service.
+#
+# Drives the release apres-serve binary through the service fault matrix
+# and asserts the acceptance property of DESIGN.md §11: a batch served
+# cold, warm from the verified cache, or through injected faults (corrupt
+# cache entry, truncated cache entry, killed worker, stalled job) is
+# byte-identical to a direct harness run of the same specs — the service
+# machinery must be invisible in the results.
+set -u
+cd "$(dirname "$0")/.."
+BIN=target/release/apres-serve
+fail=0
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+CACHE="$work/cache"
+BATCH="$work/batch.json"
+
+cat > "$BATCH" <<'EOF'
+{
+  "name": "smoke",
+  "jobs": [
+    {"bench": "HS", "sched": "LRR", "pf": "none", "scale": "tiny"},
+    {"bench": "KM", "sched": "LAWS", "pf": "SAP", "scale": "tiny"},
+    {"bench": "BFS", "sched": "CCWS", "pf": "STR", "scale": "tiny"},
+    {"bench": "HS", "sched": "LRR", "pf": "none", "scale": "tiny"}
+  ]
+}
+EOF
+
+# serve NAME EXPECT_GREP [flags...] — run one serving, capture stdout,
+# assert exit 0 and that stderr matches EXPECT_GREP (empty = no check).
+serve() {
+  local name="$1" expect="$2"
+  shift 2
+  local out rc err
+  err="$work/$name.stderr"
+  out="$("$BIN" "$BATCH" "$@" 2>"$err")"
+  rc=$?
+  if [ $rc -ne 0 ]; then
+    echo "FAIL $name: exited $rc"
+    sed 's/^/  /' "$err" | tail -5
+    fail=1
+    return 1
+  fi
+  if [ -n "$expect" ] && ! grep -q "$expect" "$err"; then
+    echo "FAIL $name: stderr does not match '$expect'"
+    sed 's/^/  /' "$err" | tail -5
+    fail=1
+    return 1
+  fi
+  printf '%s\n' "$out" > "$work/$name.out"
+  echo "ok   $name"
+}
+
+identical() {
+  local a="$1" b="$2"
+  if cmp -s "$work/$a.out" "$work/$b.out"; then
+    echo "ok   $a == $b (byte-identical)"
+  else
+    echo "FAIL $a vs $b: responses differ"
+    diff "$work/$a.out" "$work/$b.out" | head -10
+    fail=1
+  fi
+}
+
+# Reference: the batch computed directly on the bench harness pool,
+# bypassing every piece of service machinery.
+serve direct "" --direct --jobs 2
+
+# Cold serving populates the cache (3 unique jobs; the 4th is a dup).
+serve cold "cache 0 hit(s) / 3 miss(es)" --cache "$CACHE" --jobs 2
+
+# Warm re-serving must be 100% cache hits.
+serve warm "cache 3 hit(s) / 0 miss(es)" --cache "$CACHE" --jobs 2
+
+# Fault matrix: corrupt one job's cache entry AND kill the worker that
+# recomputes it, in the same serving — the entry is evicted, the kill
+# panics the first recompute attempt, the retry lands, and the batch
+# still completes (the kill targets the compute path, which only the
+# evicted job reaches on a warm cache).
+serve faulted "1 evicted, 1 retry(ies), 1 recovered" \
+  --cache "$CACHE" --jobs 2 --fault-corrupt 1 --fault-kill 1
+
+# Truncated entry: detected by verification, evicted, recomputed.
+serve truncated "1 evicted" --cache "$CACHE" --jobs 2 --fault-truncate 1
+
+# Stalled job: its first attempt blows the deadline, the retry lands.
+# Clear the cache first — a cache hit would never reach the compute path
+# the stall fault lives on.
+rm -rf "$CACHE"
+serve stalled "1 retry(ies), 1 recovered" \
+  --cache "$CACHE" --jobs 2 --fault-stall 2 --deadline-ms 2000
+
+# Acceptance: every serving above, whatever the cache state or injected
+# fault, must match the direct harness run byte-for-byte.
+identical cold direct
+identical warm direct
+identical faulted direct
+identical truncated direct
+identical stalled direct
+
+if [ $fail -ne 0 ]; then
+  echo "serve-smoke: FAILED"
+  exit 1
+fi
+echo "serve-smoke: batch byte-identical across cache states and fault matrix"

@@ -4,7 +4,7 @@
 //! The workspace layers are (low to high):
 //!
 //! `common < kernel < mem < sm < {sched, prefetch} < core < workloads <
-//! analysis < bench`
+//! analysis < bench < serve`
 //!
 //! Each member crate's manifest is parsed (in-tree, string-level — the
 //! workspace is dependency-free by design) and every internal dependency
@@ -30,6 +30,7 @@ fn layer_ranks() -> BTreeMap<&'static str, u32> {
         ("gpu-workloads", 6),
         ("gpu-analysis", 7),
         ("apres-bench", 8),
+        ("apres-serve", 9),
     ])
 }
 

@@ -1,6 +1,6 @@
-//! Source-level audit: the config-validation, MSHR-allocation, and
-//! simulation-facade paths must contain no panicking escape hatches in
-//! non-test code. The workspace lints already deny `clippy::unwrap_used` /
+//! Source-level audit: the config-validation, MSHR-allocation,
+//! simulation-facade, result-cache, and batch-service paths must contain
+//! no panicking escape hatches in non-test code. The workspace lints already deny `clippy::unwrap_used` /
 //! `clippy::expect_used` in library crates; this test additionally rejects
 //! `panic!`-family macros on the critical paths, so a regression fails
 //! `cargo test` even when clippy is not run.
@@ -16,6 +16,9 @@ const AUDITED: &[&str] = &[
     "crates/mem/src/memsys.rs",
     "crates/sm/src/gpu.rs",
     "crates/core/src/sim.rs",
+    "crates/bench/src/cache.rs",
+    "crates/serve/src/batch.rs",
+    "crates/serve/src/service.rs",
 ];
 
 const FORBIDDEN: &[&str] = &[
