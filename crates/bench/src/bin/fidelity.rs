@@ -5,21 +5,22 @@
 //! cargo run --release -p apres-bench --bin fidelity -- [--jobs N]
 //! ```
 
-use apres_bench::{emit_table, map_parallel, BenchArgs};
+use apres_bench::{emit_table, map_parallel, BenchArgs, StageTimer};
 use gpu_common::GpuConfig;
 use gpu_workloads::{characterize, fidelity_apps, fidelity_report_from};
 
 fn main() {
     let args = BenchArgs::parse();
     let cfg = GpuConfig::paper_baseline();
-    let started = std::time::Instant::now();
+    let timer = StageTimer::from_args(&args);
+    let started = timer.start();
     let profiles = map_parallel(args.jobs, fidelity_apps(), |_, b| {
         (b.label(), characterize(&b.kernel(), &cfg, None))
     });
     eprintln!(
-        "[fidelity] {} apps characterized in {:.2}s on {} worker(s)",
+        "[fidelity] {} apps characterized in {}s on {} worker(s)",
         profiles.len(),
-        started.elapsed().as_secs_f64(),
+        timer.label_since(started),
         args.jobs
     );
     let report = fidelity_report_from(&profiles);

@@ -2,41 +2,37 @@
 //! paper scale and prints cycles, IPC, miss rate and wall time. Used to
 //! validate scale choices; not part of the paper's exhibits.
 //!
-//! Wall-time columns measure each simulation on its worker thread, so
-//! they vary run to run. Pass `--no-time` to print `-` instead — `just
+//! Wall-time columns measure each simulation on its worker thread via
+//! [`apres_bench::StageTimer`], so they vary run to run. Pass `--no-time`
+//! to disable the clock entirely and print `-` instead — `just
 //! bench-smoke` does, to keep stdout byte-comparable across `--jobs`
-//! values.
+//! values (and to assert no timing figure leaks anywhere).
 
-use apres_bench::{map_parallel, report_outcome, try_run_with_config, BenchArgs, APRES, BASELINE};
+use apres_bench::{
+    map_parallel, report_outcome, try_run_with_config, BenchArgs, StageTimer, APRES, BASELINE,
+};
 use gpu_workloads::Benchmark;
-use std::time::Instant;
 
 fn main() {
     let args = BenchArgs::parse();
     let scale = args.scale;
-    let started = Instant::now();
+    let timer = StageTimer::from_args(&args);
+    let started = timer.start();
     let timed = map_parallel(args.jobs, Benchmark::ALL.to_vec(), |_, b| {
-        let t0 = Instant::now();
+        let t0 = timer.start();
         let base = try_run_with_config(b, BASELINE, scale, &scale.config());
-        let t1 = t0.elapsed().as_secs_f64();
-        let t0 = Instant::now();
+        let t1 = timer.label_since(t0);
+        let t0 = timer.start();
         let apres = try_run_with_config(b, APRES, scale, &scale.config());
-        let t2 = t0.elapsed().as_secs_f64();
+        let t2 = timer.label_since(t0);
         (b, base, t1, apres, t2)
     });
     eprintln!(
-        "[probe] {} sims in {:.2}s on {} worker(s)",
+        "[probe] {} sims in {}s on {} worker(s)",
         2 * timed.len(),
-        started.elapsed().as_secs_f64(),
+        timer.label_since(started),
         args.jobs
     );
-    let secs = |t: f64| {
-        if args.no_time {
-            "-".to_owned()
-        } else {
-            format!("{t:.2}")
-        }
-    };
     println!(
         "{:<6} {:>10} {:>7} {:>6} {:>7} | {:>10} {:>7} {:>8} {:>7}",
         "bench", "base_cyc", "ipc", "miss", "sec", "apres_cyc", "ipc", "speedup", "sec"
@@ -53,11 +49,11 @@ fn main() {
             base.cycles,
             base.ipc(),
             base.l1.miss_rate(),
-            secs(t1),
+            t1,
             apres.cycles,
             apres.ipc(),
             apres.speedup_over(&base),
-            secs(t2),
+            t2,
             if base.termination.is_drained() {
                 String::new()
             } else {

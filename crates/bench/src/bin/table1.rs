@@ -5,7 +5,7 @@
 //! dominant inter-warp stride and the fraction of accesses following it
 //! (%Stride). Compare against the paper's Table I.
 
-use apres_bench::{emit_table, map_parallel, BenchArgs};
+use apres_bench::{emit_table, map_parallel, BenchArgs, StageTimer};
 use gpu_common::GpuConfig;
 use gpu_workloads::{characterize, Benchmark};
 
@@ -13,16 +13,17 @@ fn main() {
     let args = BenchArgs::parse();
     let cfg = GpuConfig::paper_baseline();
     println!("Table I — characteristics of frequently executed loads (top 3 per app)\n");
-    let started = std::time::Instant::now();
+    let timer = StageTimer::from_args(&args);
+    let started = timer.start();
     let per_bench = map_parallel(
         args.jobs,
         Benchmark::MEMORY_INTENSIVE.to_vec(),
         |_, b| (b, characterize(&b.kernel(), &cfg, None)),
     );
     eprintln!(
-        "[table1] {} apps characterized in {:.2}s on {} worker(s)",
+        "[table1] {} apps characterized in {}s on {} worker(s)",
         per_bench.len(),
-        started.elapsed().as_secs_f64(),
+        timer.label_since(started),
         args.jobs
     );
     let mut rows = Vec::new();

@@ -40,6 +40,7 @@
 
 use crate::cache::{JobSpec, Lookup, ResultCache};
 use crate::{report_outcome, Combo, Scale};
+use gpu_common::clock::{Clock, WallClock};
 use gpu_common::config::GpuConfig;
 use gpu_common::error::{SimError, SimResult};
 use gpu_common::rng::SeedStream;
@@ -88,6 +89,9 @@ pub struct SimSweep {
     seeds: SeedStream,
     reseed: bool,
     cache: Option<ResultCache>,
+    /// `--no-time`: suppress wall-clock figures in the stderr summary so
+    /// runs are byte-comparable end to end (stdout already is).
+    no_time: bool,
 }
 
 impl SimSweep {
@@ -101,6 +105,7 @@ impl SimSweep {
             seeds: SeedStream::new(DEFAULT_BASE_SEED),
             reseed: false,
             cache: None,
+            no_time: false,
         }
     }
 
@@ -110,8 +115,9 @@ impl SimSweep {
     /// not an error — the sweep then recomputes everything.
     pub fn from_args(name: impl Into<String>, args: &crate::cli::BenchArgs) -> Self {
         let mut sweep = SimSweep::new(name);
-        if let Some(base) = args.seed {
-            sweep = sweep.reseed_from(base);
+        sweep.no_time = args.no_time;
+        if let Some(base_seed) = args.seed {
+            sweep = sweep.reseed_from(base_seed);
         }
         if let Some(dir) = &args.cache {
             match ResultCache::open(dir) {
@@ -133,8 +139,8 @@ impl SimSweep {
 
     /// Enables seed-perturbation mode: every standard job re-seeds its
     /// kernel with `derive_seed(base, job_index)`.
-    pub fn reseed_from(mut self, base: u64) -> Self {
-        self.seeds = SeedStream::new(base);
+    pub fn reseed_from(mut self, base_seed: u64) -> Self {
+        self.seeds = SeedStream::new(base_seed);
         self.reseed = true;
         self
     }
@@ -220,10 +226,13 @@ impl SimSweep {
             seeds,
             reseed,
             cache,
+            no_time,
         } = self;
         let total = tasks.len();
+        // Sweep elapsed feeds only stderr (TTY repaints + summary), never
+        // stdout. lint: allow(wall-clock)
         let started = Instant::now();
-        let progress = Progress::new(&name, total, jobs);
+        let progress = Progress::new(&name, total, jobs, no_time);
         let counters = CacheCounters::default();
         let items: Vec<(SimJobFn, Option<JobSpec>)> =
             tasks.into_iter().zip(specs).collect();
@@ -468,6 +477,66 @@ fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Wall-clock stage timing for bench binaries, routed through the
+/// [`Clock`] trait instead of raw `Instant::now()` so `--no-time` runs
+/// are reproducible end to end: with timing disabled the timer holds no
+/// clock at all — the wall clock is never read — and every elapsed label
+/// renders as `-`, byte-identical across runs and hosts.
+///
+/// ```
+/// let timer = apres_bench::StageTimer::new(true); // --no-time
+/// let stage = timer.start();
+/// assert_eq!(timer.label_since(stage), "-");
+/// assert_eq!(timer.seconds_since(stage), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct StageTimer {
+    clock: Option<WallClock>,
+}
+
+/// A stage start timestamp from [`StageTimer::start`] (opaque;
+/// `None` when timing is disabled).
+pub type StageStart = Option<u64>;
+
+impl StageTimer {
+    /// Creates a timer; `no_time` disables wall-clock reads entirely.
+    pub fn new(no_time: bool) -> Self {
+        StageTimer {
+            clock: (!no_time).then(WallClock::new),
+        }
+    }
+
+    /// Creates a timer honouring the sweep's `--no-time` flag.
+    pub fn from_args(args: &crate::cli::BenchArgs) -> Self {
+        StageTimer::new(args.no_time)
+    }
+
+    /// Marks the start of a stage. Callable from worker threads
+    /// ([`WallClock`] is `Sync`), so per-job timings work under
+    /// [`map_parallel`].
+    pub fn start(&self) -> StageStart {
+        self.clock.as_ref().map(Clock::now_ms)
+    }
+
+    /// Seconds elapsed since `start`, `None` under `--no-time`.
+    pub fn seconds_since(&self, start: StageStart) -> Option<f64> {
+        match (&self.clock, start) {
+            (Some(clock), Some(t0)) => {
+                Some(clock.now_ms().saturating_sub(t0) as f64 / 1000.0)
+            }
+            _ => None,
+        }
+    }
+
+    /// Elapsed label for human-facing output: `"1.42"`, or `"-"` under
+    /// `--no-time` (never a digit, so timing-leak checks can grep for
+    /// `[0-9.]+s` patterns).
+    pub fn label_since(&self, start: StageStart) -> String {
+        self.seconds_since(start)
+            .map_or_else(|| "-".to_owned(), |s| format!("{s:.2}"))
+    }
+}
+
 /// Minimum delay between live progress repaints.
 const PROGRESS_EVERY: Duration = Duration::from_millis(250);
 
@@ -477,6 +546,8 @@ struct Progress {
     total: usize,
     workers: usize,
     live: bool,
+    /// `--no-time`: the final summary omits elapsed/rate figures.
+    no_time: bool,
     started: Instant,
     state: Mutex<ProgressState>,
 }
@@ -488,12 +559,14 @@ struct ProgressState {
 }
 
 impl Progress {
-    fn new(name: &str, total: usize, workers: usize) -> Progress {
+    fn new(name: &str, total: usize, workers: usize, no_time: bool) -> Progress {
         Progress {
             name: name.to_owned(),
             total,
             workers,
             live: std::io::stderr().is_terminal(),
+            no_time,
+            // TTY progress pacing only. lint: allow(wall-clock)
             started: Instant::now(),
             state: Mutex::new(ProgressState {
                 done: 0,
@@ -513,6 +586,7 @@ impl Progress {
         if !self.live {
             return;
         }
+        // TTY repaint pacing only. lint: allow(wall-clock)
         let now = Instant::now();
         let due = st
             .last_paint
@@ -539,16 +613,25 @@ impl Progress {
         if self.live {
             eprint!("\r");
         }
-        eprintln!(
-            "[{}] {} sims in {:.2}s on {} worker(s): {:.2} sims/s, {} cycles/s, {} instr/s",
-            self.name,
-            st.done,
-            elapsed.as_secs_f64(),
-            self.workers,
-            st.throughput.sims_per_sec(elapsed),
-            si(st.throughput.cycles_per_sec(elapsed)),
-            si(st.throughput.instructions_per_sec(elapsed)),
-        );
+        if self.no_time {
+            // `--no-time`: no elapsed or rate figures anywhere in the
+            // run's output, so two runs are byte-comparable end to end.
+            eprintln!(
+                "[{}] {} sims on {} worker(s)",
+                self.name, st.done, self.workers
+            );
+        } else {
+            eprintln!(
+                "[{}] {} sims in {:.2}s on {} worker(s): {:.2} sims/s, {} cycles/s, {} instr/s",
+                self.name,
+                st.done,
+                elapsed.as_secs_f64(),
+                self.workers,
+                st.throughput.sims_per_sec(elapsed),
+                si(st.throughput.cycles_per_sec(elapsed)),
+                si(st.throughput.instructions_per_sec(elapsed)),
+            );
+        }
         st.throughput
     }
 }

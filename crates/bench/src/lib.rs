@@ -50,7 +50,9 @@ pub mod harness;
 
 pub use cache::{JobSpec, Lookup, ResultCache, CACHE_FORMAT_VERSION};
 pub use cli::BenchArgs;
-pub use harness::{map_parallel, CacheSummary, JobCtx, JobId, SimSweep, SweepResults};
+pub use harness::{
+    map_parallel, CacheSummary, JobCtx, JobId, SimSweep, StageStart, StageTimer, SweepResults,
+};
 
 /// Resolves a benchmark label (case-insensitive) or exits with the known
 /// list on stderr — shared by the binaries that take an `APP` positional.

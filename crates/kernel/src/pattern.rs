@@ -296,19 +296,19 @@ impl PatternSampler {
         // sharing the pattern models.
         let w = if pattern.lockstep_noise() { 0 } else { warp };
         let s = if pattern.lockstep_noise() { 0 } else { sm };
-        let mut h = self.seed;
+        let mut mixed_seed = self.seed;
         for v in [
             u64::from(s),
             u64::from(w),
             iter,
             pattern_tag(pattern),
         ] {
-            h = h
+            mixed_seed = mixed_seed
                 .rotate_left(23)
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(v ^ 0xD6E8_FEB8_6659_FD93);
         }
-        Xoshiro256::seed_from_u64(h)
+        Xoshiro256::seed_from_u64(mixed_seed)
     }
 }
 

@@ -1,0 +1,107 @@
+//! `workspace-lint` — the determinism & concurrency source gate.
+//!
+//! Scans every shipping `.rs` file (`crates/*/src/**`, `src/**`) with the
+//! `apres-lint` rule set and reports findings. Exit status is the gate:
+//! non-zero on any active finding under `--deny-warnings` (the `just
+//! lint-workspace` configuration), or on any stale baseline entry.
+//!
+//! Flags:
+//!
+//! * `--json` — emit one JSON object (`files_scanned`, `findings`,
+//!   `active`, `diagnostics`, `clean`) instead of text;
+//! * `--deny-warnings` — active findings fail the gate (baselined
+//!   findings are notes and never gate);
+//! * `--baseline FILE` — suppression file, one `path:line:rule` entry
+//!   per line (`#` comments allowed); matching findings are demoted to
+//!   notes, entries matching nothing are reported as stale;
+//! * `--root DIR` — workspace root to scan (default: the current
+//!   directory, which is the workspace root under `just`/`cargo run`).
+
+use apres_lint::workspace::{lint_workspace, Baseline};
+use gpu_common::json::Json;
+use gpu_common::Severity;
+use std::path::PathBuf;
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("workspace-lint: {msg}");
+    eprintln!("usage: workspace-lint [--json] [--deny-warnings] [--baseline FILE] [--root DIR]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--baseline" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_exit("--baseline requires a file"));
+                baseline_path = Some(PathBuf::from(v));
+            }
+            "--root" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_exit("--root requires a directory"));
+                root = PathBuf::from(v);
+            }
+            unknown => usage_exit(&format!("unknown flag {unknown}")),
+        }
+    }
+
+    let baseline = match &baseline_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                usage_exit(&format!("cannot read baseline {}: {e}", path.display()))
+            });
+            Baseline::parse(&text)
+                .unwrap_or_else(|e| usage_exit(&format!("{}: {e}", path.display())))
+        }
+        None => Baseline::default(),
+    };
+
+    let ws = match lint_workspace(&root, &baseline) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("workspace-lint: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = ws.to_report();
+    // Stale baseline entries are warnings too, so they gate even though
+    // they are not "findings".
+    let clean = !report.has_errors()
+        && (!deny_warnings || report.count(Severity::Warning) == 0);
+
+    if json {
+        let mut obj = match ws.to_json() {
+            Json::Obj(fields) => fields,
+            other => vec![("report".into(), other)],
+        };
+        obj.push(("clean".into(), Json::Bool(clean)));
+        println!("{}", Json::Obj(obj).to_pretty());
+    } else {
+        for d in report.diagnostics() {
+            println!("{d}");
+        }
+        println!(
+            "{} file(s) scanned: {} finding(s) ({} active, {} baselined), \
+             {} stale baseline entr{}",
+            ws.files_scanned,
+            ws.findings.len(),
+            ws.active(),
+            ws.findings.len() - ws.active(),
+            ws.stale_baseline.len(),
+            if ws.stale_baseline.len() == 1 { "y" } else { "ies" },
+        );
+    }
+
+    if !clean {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,519 @@
+//! A lightweight Rust lexer for source auditing.
+//!
+//! The workspace builds offline with no dependencies, so the lint rules
+//! cannot lean on `syn`. This lexer produces just enough structure for
+//! the determinism rules in [`crate::rules`]:
+//!
+//! * a flat token stream ([`Token`]) with per-token line numbers —
+//!   identifiers, numbers, punctuation, lifetimes, and literals;
+//! * full string/char/comment awareness: the contents of string literals,
+//!   raw strings (`r#"…"#` at any hash depth), byte strings, char
+//!   literals, and comments (line, doc, and nested block) never appear as
+//!   code tokens, so a rule can mention `HashMap` in a message constant
+//!   without flagging itself;
+//! * `// lint: allow(<rule>)` escape-hatch comments, collected with the
+//!   line they sit on ([`Lexed::allows`]);
+//! * trailing-`#[cfg(test)]`-module detection ([`Lexed::test_ranges`]),
+//!   so rules audit only shipping code — test modules may unwrap, hash,
+//!   and clock-read freely.
+//!
+//! The lexer is intentionally forgiving: an unterminated literal consumes
+//! the rest of the file rather than erroring, because the rules run over
+//! source that `rustc` has already accepted.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `for`, `let`, …).
+    Ident,
+    /// Numeric literal (`0x1F`, `1_000`, `2.5e3`).
+    Number,
+    /// String, raw-string, byte-string, or char literal (contents opaque).
+    Literal,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Single punctuation character (`.`, `:`, `(`, `!`, …).
+    Punct(char),
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (empty for [`TokenKind::Literal`] — contents are opaque).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// `true` for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// `true` for this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// An in-source suppression: `// lint: allow(<rule>)` on `line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Rule identifier inside the parentheses.
+    pub rule: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (no comments, no literal contents).
+    pub tokens: Vec<Token>,
+    /// Escape-hatch comments, in source order.
+    pub allows: Vec<Allow>,
+    /// Token-index ranges `[start, end)` covering `#[cfg(test)]` items.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl Lexed {
+    /// `true` when token `idx` is inside a `#[cfg(test)]` item.
+    pub fn in_test_code(&self, idx: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// `true` when a finding of `rule` on `line` is suppressed by an
+    /// allow comment on the same line or the line directly above.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Lexes `src` into tokens, allow-directives, and test-module ranges.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    };
+    lx.run();
+    mark_test_ranges(&mut lx.out);
+    lx.out
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: impl Into<String>, line: usize) {
+        self.out.tokens.push(Token {
+            kind,
+            text: text.into(),
+            line,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                'r' | 'b' if self.raw_or_byte_literal(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphanumeric() => self.ident(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), String::new(), line);
+                }
+            }
+        }
+    }
+
+    /// Consumes `//…\n`, capturing `lint: allow(rule[, rule…])` directives.
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.capture_allow(&text, line);
+    }
+
+    /// Consumes a (nested) block comment; directives inside are honoured.
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut depth = 0usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.capture_allow(&text, line);
+    }
+
+    /// Parses `lint: allow(a, b)` out of a comment body.
+    fn capture_allow(&mut self, comment: &str, line: usize) {
+        let Some(at) = comment.find("lint: allow(") else {
+            return;
+        };
+        let rest = &comment[at + "lint: allow(".len()..];
+        let Some(end) = rest.find(')') else { return };
+        for rule in rest[..end].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                self.out.allows.push(Allow {
+                    line,
+                    rule: rule.to_owned(),
+                });
+            }
+        }
+    }
+
+    /// Consumes `"…"` with escape handling.
+    fn string_literal(&mut self, line: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    /// Tries to consume `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`.
+    /// Returns `false` when the `r`/`b` starts a plain identifier.
+    fn raw_or_byte_literal(&mut self, line: usize) -> bool {
+        let c0 = self.peek(0);
+        let (skip, raw) = match (c0, self.peek(1), self.peek(2)) {
+            (Some('b'), Some('\''), _) => {
+                // Byte char literal b'x' (possibly escaped).
+                self.bump();
+                self.char_or_lifetime(line);
+                return true;
+            }
+            (Some('b'), Some('"'), _) => (1, false),
+            (Some('r'), Some('"' | '#'), _) => (1, true),
+            (Some('b'), Some('r'), Some('"' | '#')) => (2, true),
+            _ => return false,
+        };
+        for _ in 0..skip {
+            self.bump();
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                self.bump();
+            }
+            if self.peek(0) != Some('"') {
+                // `r#foo` raw identifier: emit the identifier.
+                self.ident(line);
+                return true;
+            }
+            self.bump(); // opening quote
+            // Scan for `"` followed by `hashes` hash marks.
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    for i in 0..hashes {
+                        if self.peek(i) != Some('#') {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.push(TokenKind::Literal, String::new(), line);
+        } else {
+            self.string_literal(line);
+        }
+        true
+    }
+
+    /// Disambiguates char literals from lifetimes at a `'`.
+    fn char_or_lifetime(&mut self, line: usize) {
+        self.bump(); // the quote
+        match (self.peek(0), self.peek(1)) {
+            // Escaped char: '\n', '\u{…}', '\\'.
+            (Some('\\'), _) => {
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Literal, String::new(), line);
+            }
+            // 'x' — a char literal only when the closing quote follows.
+            (Some(_), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.push(TokenKind::Literal, String::new(), line);
+            }
+            // 'ident — a lifetime.
+            (Some(c), _) if c == '_' || c.is_alphanumeric() => {
+                let mut text = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, text, line);
+            }
+            _ => {
+                self.push(TokenKind::Punct('\''), String::new(), line);
+            }
+        }
+    }
+
+    fn number(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // Good enough for audit purposes: consumes ints, floats,
+            // hex/oct/bin forms, separators, and type suffixes.
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                // A `.` only continues the number when a digit follows
+                // (`1.5` yes, `1.max(2)` and `0..n` no).
+                if c == '.' && !self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+
+    fn ident(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+}
+
+/// Finds `#[cfg(test)]` attributes and marks the token range of the item
+/// they gate (through the item's closing brace or semicolon) as test code.
+fn mark_test_ranges(out: &mut Lexed) {
+    let t = &out.tokens;
+    let mut i = 0;
+    while i + 5 < t.len() {
+        let is_cfg_test = t[i].is_punct('#')
+            && t[i + 1].is_punct('[')
+            && t[i + 2].is_ident("cfg")
+            && t[i + 3].is_punct('(')
+            && t[i + 4].is_ident("test")
+            && t[i + 5].is_punct(')');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip to the end of this attribute, then over any further
+        // attributes/doc markers, to the item's first brace.
+        let mut j = i + 6;
+        let mut depth = 0usize;
+        let start = i;
+        let mut end = t.len();
+        while j < t.len() {
+            match t[j].kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                // An item ending before any brace opened (`#[cfg(test)]
+                // use …;`) spans to the semicolon.
+                TokenKind::Punct(';') if depth == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out.test_ranges.push((start, end));
+        i = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code_words() {
+        let src = r##"
+            let a = "HashMap::iter()"; // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let b = r#"Instant::now()"#;
+            let c = b"bytes";
+            let d = 'x';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_owned()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_owned()), "{ids:?}");
+        assert_eq!(
+            ids,
+            vec!["let", "a", "let", "b", "let", "c", "let", "d"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<usize> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn allow_directives_are_captured() {
+        let lexed = lex(
+            "let t = x; // lint: allow(wall-clock)\n\
+             // lint: allow(hash-iter, float-ord)\n\
+             let u = y;\n",
+        );
+        let got: Vec<(usize, &str)> = lexed
+            .allows
+            .iter()
+            .map(|a| (a.line, a.rule.as_str()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![(1, "wall-clock"), (2, "hash-iter"), (2, "float-ord")]
+        );
+        assert!(lexed.allowed("wall-clock", 1));
+        assert!(lexed.allowed("hash-iter", 3), "line below the comment");
+        assert!(!lexed.allowed("hash-iter", 4));
+    }
+
+    #[test]
+    fn cfg_test_module_is_ranged() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n fn t() { inner() }\n}\nfn after() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.test_ranges.len(), 1);
+        let inner_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("inner"))
+            .unwrap();
+        let after_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("after"))
+            .unwrap();
+        assert!(lexed.in_test_code(inner_idx));
+        assert!(!lexed.in_test_code(after_idx));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_round_trips() {
+        let src = "let s = r##\"quote \" and # inside\"##; let tail = 1;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "tail"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let lexed = lex("let x = 1.max(2); let y = 1.5; let r = 0..n;");
+        let max_call = lexed.tokens.iter().any(|t| t.is_ident("max"));
+        assert!(max_call);
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["1", "2", "1.5", "0"]);
+    }
+}

@@ -13,7 +13,7 @@
 //! when program behaviour shifts.
 
 use gpu_common::Pc;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Counter ceiling.
 const MAX_SCORE: u8 = 15;
@@ -34,7 +34,10 @@ struct PcEntry {
 /// Per-PC bypass predictor.
 #[derive(Debug, Clone, Default)]
 pub struct BypassPredictor {
-    table: HashMap<Pc, PcEntry>,
+    // BTreeMap, not HashMap: the LRU eviction below iterates the table,
+    // and `min_by_key` must break score ties by Pc order, not by a
+    // per-process RandomState (lint: hash-iter).
+    table: BTreeMap<Pc, PcEntry>,
     tick: u64,
     /// Demand loads served around the L1.
     pub bypassed: u64,

@@ -8,7 +8,7 @@
 //! (the previous access also hit) and *hit-after-miss*.
 
 use gpu_common::LineAddr;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Classification of one demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +33,7 @@ impl AccessClass {
 /// Classifies the demand-access stream of one cache.
 #[derive(Debug, Clone, Default)]
 pub struct MissClassifier {
-    ever_filled: HashSet<LineAddr>,
+    ever_filled: BTreeSet<LineAddr>,
     last_was_hit: bool,
     any_access: bool,
 }

@@ -21,7 +21,7 @@ use gpu_common::config::CacheConfig;
 use gpu_common::fault::{FaultCounters, FaultState};
 use gpu_common::stats::{CacheStats, PrefetchStats};
 use gpu_common::{Cycle, LineAddr, Pc};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Default number of evicted-unused prefetches remembered for early-eviction
 /// attribution.
@@ -93,10 +93,13 @@ pub struct L1Cache {
     early: EarlyEvictionTracker,
     stats: CacheStats,
     pstats: PrefetchStats,
-    per_pc: HashMap<Pc, PcStats>,
+    // Ordered containers, not hash: per-PC stats feed sorted report
+    // output and the no-fill set feeds fills, so neither may depend on
+    // a per-process RandomState (lint: hash-iter).
+    per_pc: BTreeMap<Pc, PcStats>,
     bypass: Option<BypassPredictor>,
     /// Lines whose in-flight fill must not be installed (bypassed loads).
-    no_fill: std::collections::HashSet<LineAddr>,
+    no_fill: BTreeSet<LineAddr>,
     outgoing: VecDeque<MemRequest>,
     /// Injected-fault state (MSHR exhaustion bursts), when under test.
     fault: Option<FaultState>,
@@ -112,9 +115,9 @@ impl L1Cache {
             early: EarlyEvictionTracker::new(EARLY_TRACKER_CAPACITY),
             stats: CacheStats::default(),
             pstats: PrefetchStats::default(),
-            per_pc: HashMap::new(),
+            per_pc: BTreeMap::new(),
             bypass: cfg.bypass.then(BypassPredictor::new),
-            no_fill: std::collections::HashSet::new(),
+            no_fill: BTreeSet::new(),
             outgoing: VecDeque::new(),
             fault: None,
             cfg: cfg.clone(),
@@ -341,7 +344,7 @@ impl L1Cache {
 
     /// Per-static-load demand statistics (runtime equivalent of Table I's
     /// per-PC miss rates, valid under any scheduler).
-    pub fn per_pc_stats(&self) -> &HashMap<Pc, PcStats> {
+    pub fn per_pc_stats(&self) -> &BTreeMap<Pc, PcStats> {
         &self.per_pc
     }
 

@@ -9,7 +9,7 @@
 
 use crate::request::{AccessKind, MemRequest};
 use gpu_common::LineAddr;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One in-flight miss.
 #[derive(Debug, Clone)]
@@ -68,7 +68,10 @@ pub enum MshrOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile {
-    entries: HashMap<LineAddr, MshrEntry>,
+    // BTreeMap, not HashMap: `iter()` feeds diagnostics (deadlock dumps)
+    // and the property-test ledger, so the visit order must not depend
+    // on a per-process RandomState (lint: hash-iter).
+    entries: BTreeMap<LineAddr, MshrEntry>,
     capacity: usize,
     merge_slots: usize,
 }
@@ -82,7 +85,7 @@ impl MshrFile {
     pub fn new(capacity: usize, merge_slots: usize) -> Self {
         debug_assert!(capacity > 0 && merge_slots > 0);
         MshrFile {
-            entries: HashMap::with_capacity(capacity),
+            entries: BTreeMap::new(),
             capacity,
             merge_slots,
         }

@@ -13,7 +13,7 @@
 //!   prefetch was useless (`useless` verdict).
 
 use gpu_common::LineAddr;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Verdicts produced as tracked lines resolve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,7 +29,7 @@ pub struct EvictionVerdicts {
 pub struct EarlyEvictionTracker {
     fifo: VecDeque<LineAddr>,
     // line -> number of tracked evictions of that line currently in the fifo
-    tracked: HashMap<LineAddr, u32>,
+    tracked: BTreeMap<LineAddr, u32>,
     capacity: usize,
     verdicts: EvictionVerdicts,
 }
@@ -44,7 +44,7 @@ impl EarlyEvictionTracker {
         assert!(capacity > 0);
         EarlyEvictionTracker {
             fifo: VecDeque::with_capacity(capacity),
-            tracked: HashMap::new(),
+            tracked: BTreeMap::new(),
             capacity,
             verdicts: EvictionVerdicts::default(),
         }

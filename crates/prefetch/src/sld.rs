@@ -10,7 +10,7 @@
 use gpu_common::{Addr, LineAddr};
 use gpu_sm::traits::{DemandAccess, PrefetchRequest, Prefetcher};
 use gpu_mem::request::RequestSource;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Lines per macro block.
 const BLOCK_LINES: u64 = 4;
@@ -31,7 +31,10 @@ struct BlockEntry {
 /// Macro-block spatial prefetcher.
 #[derive(Debug, Clone, Default)]
 pub struct Sld {
-    table: HashMap<u64, BlockEntry>,
+    // BTreeMap, not HashMap: LRU eviction iterates the table and must
+    // break ties by block id, not by a per-process RandomState
+    // (lint: hash-iter).
+    table: BTreeMap<u64, BlockEntry>,
     tick: u64,
     table_accesses: u64,
 }

@@ -12,7 +12,7 @@
 use gpu_common::{Addr, Pc, WarpId};
 use gpu_sm::traits::{DemandAccess, PrefetchRequest, Prefetcher};
 use gpu_mem::request::RequestSource;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Table entries (static loads tracked simultaneously).
 const TABLE_ENTRIES: usize = 16;
@@ -34,7 +34,9 @@ struct StrEntry {
 /// Per-PC stride prefetcher.
 #[derive(Debug, Clone, Default)]
 pub struct Str {
-    table: HashMap<Pc, StrEntry>,
+    // BTreeMap, not HashMap: LRU eviction iterates the table and must
+    // break ties by Pc, not by a per-process RandomState (lint: hash-iter).
+    table: BTreeMap<Pc, StrEntry>,
     tick: u64,
     table_accesses: u64,
 }

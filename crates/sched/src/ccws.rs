@@ -17,7 +17,7 @@
 
 use gpu_common::{LineAddr, WarpId};
 use gpu_sm::traits::{L1Event, ReadyWarp, SchedCtx, SchedFeedback, WarpScheduler};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Victim-tag entries per warp.
 const VTA_ENTRIES: usize = 16;
@@ -41,7 +41,10 @@ struct WarpLocality {
 /// Cache-conscious wavefront scheduler with dynamic warp throttling.
 #[derive(Debug, Clone, Default)]
 pub struct Ccws {
-    warps: HashMap<WarpId, WarpLocality>,
+    // BTreeMap, not HashMap: score sums and the per-round decay iterate
+    // the table, so visit order must be WarpId order, not a per-process
+    // RandomState (lint: hash-iter).
+    warps: BTreeMap<WarpId, WarpLocality>,
     table_accesses: u64,
     last: Option<u32>,
     picks: u64,

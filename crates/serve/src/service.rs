@@ -210,7 +210,7 @@ pub fn serve_batch(
     // maps submission index -> unique-job index.
     let mut unique: Vec<(usize, &JobSpec)> = Vec::new();
     let mut share: Vec<usize> = Vec::with_capacity(batch.jobs.len());
-    let mut seen: std::collections::HashMap<u128, usize> = std::collections::HashMap::new();
+    let mut seen: std::collections::BTreeMap<u128, usize> = std::collections::BTreeMap::new();
     for (submit_idx, spec) in batch.jobs.iter().enumerate() {
         let hash = spec.hash();
         let unique_idx = *seen.entry(hash).or_insert_with(|| {

@@ -373,8 +373,8 @@ impl Gpu {
         let mut l1 = CacheStats::default();
         let mut prefetch = PrefetchStats::default();
         let mut energy = EnergyEvents::default();
-        let mut per_pc: std::collections::HashMap<gpu_common::Pc, gpu_mem::l1::PcStats> =
-            std::collections::HashMap::new();
+        let mut per_pc: std::collections::BTreeMap<gpu_common::Pc, gpu_mem::l1::PcStats> =
+            std::collections::BTreeMap::new();
         let scheduler = self
             .sms
             .first()

@@ -11,10 +11,10 @@ use crate::traits::{L1Event, L1Outcome};
 use gpu_common::{Addr, Cycle, LineAddr, Pc, SmId, WarpId};
 use gpu_mem::l1::{L1AccessOutcome, L1Cache, LineFill};
 use gpu_mem::request::MemRequest;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Key identifying one dynamic memory instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct OpKey {
     warp: WarpId,
     body_idx: usize,
@@ -89,7 +89,7 @@ pub struct Lsu {
     queue: VecDeque<MemOp>,
     store_queue: VecDeque<MemOp>,
     capacity: usize,
-    outstanding: HashMap<OpKey, OpState>,
+    outstanding: BTreeMap<OpKey, OpState>,
 }
 
 impl Lsu {
@@ -105,7 +105,7 @@ impl Lsu {
             queue: VecDeque::with_capacity(capacity),
             store_queue: VecDeque::with_capacity(capacity),
             capacity,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
         }
     }
 

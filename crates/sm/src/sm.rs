@@ -26,7 +26,7 @@ use gpu_mem::coalesce::coalesce;
 use gpu_mem::l1::L1Cache;
 use gpu_mem::memsys::MemorySystem;
 use gpu_mem::request::MemRequest;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Depth of the LSU instruction queue (structural hazard threshold).
@@ -50,7 +50,7 @@ pub struct Sm {
     energy: EnergyEvents,
     ready_buf: Vec<ReadyWarp>,
     /// Barrier rendezvous: (wave, iteration, body index) → warps arrived.
-    barriers: HashMap<(u32, u64, usize), Vec<WarpId>>,
+    barriers: BTreeMap<(u32, u64, usize), Vec<WarpId>>,
     trace: Option<TraceBuffer>,
 }
 
@@ -81,7 +81,7 @@ impl Sm {
             stats: SimStats::default(),
             energy: EnergyEvents::default(),
             ready_buf: Vec::new(),
-            barriers: HashMap::new(),
+            barriers: BTreeMap::new(),
             trace: None,
             cfg: cfg.clone(),
         }
@@ -438,7 +438,7 @@ impl Sm {
     }
 
     /// Per-static-load L1 statistics.
-    pub fn per_pc_stats(&self) -> &std::collections::HashMap<gpu_common::Pc, gpu_mem::l1::PcStats> {
+    pub fn per_pc_stats(&self) -> &std::collections::BTreeMap<gpu_common::Pc, gpu_mem::l1::PcStats> {
         self.l1.per_pc_stats()
     }
 

@@ -17,7 +17,7 @@ use gpu_common::{Addr, LineAddr, Pc, WarpId};
 use gpu_kernel::{Kernel, Op, PatternSampler};
 use gpu_mem::cache::TagStore;
 use gpu_mem::coalesce::coalesce;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Table I row for one static load.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,8 +42,8 @@ pub struct LoadProfile {
 struct PcAccum {
     refs: u64,
     misses: u64,
-    lines: HashSet<LineAddr>,
-    strides: HashMap<i64, u64>,
+    lines: BTreeSet<LineAddr>,
+    strides: BTreeMap<i64, u64>,
     stride_samples: u64,
     last: Option<(WarpId, Addr)>,
 }
@@ -58,7 +58,7 @@ pub fn characterize(kernel: &Kernel, cfg: &GpuConfig, iters: Option<u64>) -> Vec
     let warps = cfg.core.warps_per_sm as u32;
     let sampler = PatternSampler::new(kernel.seed(), cfg.core.warp_size as u32);
     let mut tags = TagStore::new(&cfg.l1);
-    let mut per_pc: HashMap<Pc, PcAccum> = HashMap::new();
+    let mut per_pc: BTreeMap<Pc, PcAccum> = BTreeMap::new();
     let mut total_refs: u64 = 0;
 
     for iter in 0..iters {

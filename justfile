@@ -2,7 +2,7 @@
 
 # Build + test + lint + docs + determinism + fault-tolerance smoke,
 # exactly what CI runs.
-check: build test clippy lint-kernels doc bench-smoke serve-smoke
+check: build test clippy lint-kernels lint-workspace doc bench-smoke serve-smoke
 
 build:
     cargo build --release --workspace --bins --examples --benches
@@ -20,6 +20,13 @@ clippy:
 # clippy's -D warnings.
 lint-kernels:
     cargo run --release -p apres-bench --bin kernel-lint -- --deny-warnings --oracle
+
+# Determinism & concurrency static analysis over the workspace's own
+# source (hash-iter, wall-clock, unseeded-rng, float-ord, shared-mut,
+# panic-path; see DESIGN.md §12). The baseline ships empty and must stay
+# empty: fix findings, don't suppress them.
+lint-workspace:
+    cargo run --release -p apres-lint --bin workspace-lint -- --deny-warnings --baseline lint-baseline.txt
 
 # API docs must build warning-free (gpu-common and apres-core additionally
 # deny missing docs at compile time).

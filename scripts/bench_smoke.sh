@@ -58,6 +58,29 @@ json_compare() {
   rm -rf "$d1" "$d2"
 }
 
+# A binary run with --no-time must not print a wall-clock figure on
+# stdout OR stderr: `--no-time` promises a byte-comparable run end to
+# end, and a stray "in 1.23s" / "4.56 sims/s" breaks that promise (the
+# StageTimer/Progress paths print "-" or omit rates instead).
+no_time_check() {
+  local name="$1"
+  shift
+  local out
+  out="$("$BIN/$name" "$@" --no-time --jobs 1 2>&1)"
+  if [ $? -ne 0 ]; then
+    echo "FAIL $name: --no-time run exited non-zero"
+    fail=1
+    return
+  fi
+  if printf '%s\n' "$out" | grep -Eq 'in [0-9]+\.[0-9]+s|[0-9.]+ sims/s|cycles/s|instr/s'; then
+    echo "FAIL $name: timing leaked into --no-time output:"
+    printf '%s\n' "$out" | grep -E 'in [0-9]+\.[0-9]+s|[0-9.]+ sims/s|cycles/s|instr/s' | head -5
+    fail=1
+  else
+    echo "ok   $name (--no-time silent about wall time)"
+  fi
+}
+
 # Every exhibit and study binary, at the scale bench-smoke exercises.
 compare fig2 --tiny
 compare fig3 --tiny
@@ -84,6 +107,13 @@ compare kernel-lint --oracle
 json_compare fig10 --tiny
 json_compare fig12 --tiny
 json_compare sweep --tiny
+
+# --no-time runs must be silent about wall time everywhere (the Clock
+# routing of the bench binaries plus the harness's no-time summary).
+no_time_check probe --tiny
+no_time_check table1 --tiny
+no_time_check fidelity
+no_time_check fig10 --tiny
 
 if [ $fail -ne 0 ]; then
   echo "bench-smoke: FAILED"
