@@ -1,0 +1,359 @@
+//! Measured-performance trajectory: times a pinned simulation sub-suite
+//! in both [`StepMode`]s and records the result as a `BENCH_<n>.json`
+//! checkpoint (rebar-style measurement methodology; see METHODOLOGY.md).
+//!
+//! ```text
+//! cargo run --release -p apres-bench --bin perf_trajectory -- [--fast|--tiny]
+//!     [--reps N] [--dry-run | --write | --check]
+//! ```
+//!
+//! * default — measure and print the trajectory without writing anything;
+//! * `--write` — measure and write the next `BENCH_<n>.json` in the
+//!   current directory;
+//! * `--check` — measure and compare the skip/tick speedup against the
+//!   newest checked-in `BENCH_*.json`; exits 1 on a >10% regression
+//!   (`just perf-gate`);
+//! * `--dry-run` — print the pinned suite and exit without reading the
+//!   clock at all (the `bench_smoke.sh` smoke path: no timing figures,
+//!   so output is byte-comparable across runs).
+//!
+//! The regression gate compares the *ratio* of skip-ahead to tick-mode
+//! throughput, not absolute rates: absolute cycles/s depends on the host
+//! machine, while the ratio is a property of the engine (METHODOLOGY.md).
+
+use apres_bench::{simulation_for, BenchArgs, Combo, Scale, StageTimer, APRES, BASELINE};
+use gpu_common::json::{parse, Json};
+use gpu_sm::StepMode;
+use gpu_workloads::Benchmark;
+
+/// One pinned suite entry; `hi_lat` applies the latency-stress config
+/// (ample MSHRs, 600-cycle DRAM) where skip-ahead has long silent spans
+/// to reclaim — at baseline geometry the MSHR-retry path does observable
+/// work almost every cycle, so there is little to skip (METHODOLOGY.md).
+struct Entry {
+    bench: Benchmark,
+    combo: Combo,
+    hi_lat: bool,
+}
+
+const fn entry(bench: Benchmark, combo: Combo, hi_lat: bool) -> Entry {
+    Entry { bench, combo, hi_lat }
+}
+
+/// The pinned sub-suite: memory-bound Table-I kernels, one compute-bound
+/// control, one latency-stress point. Append only — renumbering entries
+/// would make trajectories incomparable.
+const SUITE: [Entry; 6] = [
+    entry(Benchmark::Bfs, BASELINE, false),
+    entry(Benchmark::Spmv, BASELINE, false),
+    entry(Benchmark::Km, BASELINE, false),
+    entry(Benchmark::Spmv, APRES, false),
+    entry(Benchmark::Hs, BASELINE, false),
+    entry(Benchmark::Spmv, BASELINE, true),
+];
+
+/// Maximum tolerated regression of the skip/tick speedup ratio.
+const GATE_TOLERANCE: f64 = 0.10;
+
+/// Trajectory file format version (bumped on schema change).
+const FORMAT_VERSION: u64 = 1;
+
+enum Action {
+    Measure,
+    Write,
+    Check,
+    DryRun,
+}
+
+fn main() {
+    let mut action = Action::Measure;
+    let mut reps: u64 = 3;
+    // Split our own flags off before handing the rest to the shared
+    // parser (which rejects unknown flags).
+    let mut rest: Vec<String> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--dry-run" => action = Action::DryRun,
+            "--write" => action = Action::Write,
+            "--check" => action = Action::Check,
+            "--reps" => {
+                let v = argv.next().unwrap_or_default();
+                reps = v.parse().unwrap_or(0);
+                if reps == 0 {
+                    eprintln!("--reps: expected a positive number, got {v:?}");
+                    std::process::exit(2);
+                }
+            }
+            _ => rest.push(a),
+        }
+    }
+    let args = match BenchArgs::parse_from(rest.into_iter()) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: perf_trajectory [--fast | --tiny] [--reps N] \
+                 [--dry-run | --write | --check]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Action::DryRun = action {
+        dry_run(&args, reps);
+        return;
+    }
+    if args.no_time {
+        // A trajectory *is* wall-clock data; there is nothing meaningful
+        // to measure with the clock disabled. `--dry-run` is the
+        // timing-free path (METHODOLOGY.md).
+        eprintln!("--no-time conflicts with measurement; use --dry-run instead");
+        std::process::exit(2);
+    }
+    let trajectory = measure(&args, reps);
+    println!("{}", render(&trajectory));
+    match action {
+        Action::Measure | Action::DryRun => {}
+        Action::Write => write_next(&trajectory),
+        Action::Check => check_gate(&trajectory),
+    }
+}
+
+/// One mode's aggregate measurement.
+struct ModeRun {
+    mode: StepMode,
+    /// Per-suite-entry best-of-`reps` seconds, parallel to [`SUITE`].
+    seconds: Vec<f64>,
+    /// Simulated cycles per entry (identical across modes by contract).
+    cycles: Vec<u64>,
+}
+
+impl ModeRun {
+    fn total_seconds(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    fn cycles_per_sec(&self) -> f64 {
+        let secs = self.total_seconds();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.cycles.iter().sum::<u64>() as f64 / secs
+    }
+
+    fn sims_per_sec(&self) -> f64 {
+        let secs = self.total_seconds();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        SUITE.len() as f64 / secs
+    }
+}
+
+struct Trajectory {
+    scale: Scale,
+    reps: u64,
+    tick: ModeRun,
+    skip: ModeRun,
+}
+
+impl Trajectory {
+    /// Skip-ahead throughput relative to tick mode (the gated quantity).
+    fn speedup(&self) -> f64 {
+        let tick = self.tick.total_seconds();
+        let skip = self.skip.total_seconds();
+        if skip <= 0.0 {
+            0.0
+        } else {
+            tick / skip
+        }
+    }
+}
+
+fn suite_label(e: &Entry) -> String {
+    let base = format!("{}/{}", e.bench.label(), e.combo.label());
+    if e.hi_lat {
+        format!("{base}@hi-lat")
+    } else {
+        base
+    }
+}
+
+/// Prints the pinned suite without ever reading the clock.
+fn dry_run(args: &BenchArgs, reps: u64) {
+    println!(
+        "perf_trajectory dry run: {} suite entries x 2 step modes at {} scale, best of {} rep(s)",
+        SUITE.len(),
+        args.scale.label(),
+        reps
+    );
+    for entry in &SUITE {
+        println!("  {}", suite_label(entry));
+    }
+    println!("no simulations were run and no clock was read");
+}
+
+/// Measures the pinned suite in both modes: one untimed warmup run, then
+/// best-of-`reps` wall-clock per (entry, mode), serially (worker-count
+/// jitter would contaminate the measurement; METHODOLOGY.md).
+fn measure(args: &BenchArgs, reps: u64) -> Trajectory {
+    let timer = StageTimer::new(false);
+    // Warmup: first allocation/page-cache effects land on an untimed run.
+    run_entry(&SUITE[0], args.scale, StepMode::Tick);
+    let mut runs = Vec::new();
+    for mode in [StepMode::Tick, StepMode::SkipAhead] {
+        let mut seconds = Vec::new();
+        let mut cycles = Vec::new();
+        for entry in &SUITE {
+            let mut best = f64::INFINITY;
+            let mut simulated = 0;
+            for _ in 0..reps {
+                let start = timer.start();
+                simulated = run_entry(entry, args.scale, mode);
+                let elapsed = timer
+                    .seconds_since(start)
+                    .expect("timer is armed outside --dry-run");
+                best = best.min(elapsed);
+            }
+            eprintln!(
+                "[perf] {} {} {:.3}s ({} cycles)",
+                mode,
+                suite_label(entry),
+                best,
+                simulated
+            );
+            seconds.push(best);
+            cycles.push(simulated);
+        }
+        runs.push(ModeRun { mode, seconds, cycles });
+    }
+    let skip = runs.pop().expect("two modes measured");
+    let tick = runs.pop().expect("two modes measured");
+    assert_eq!(
+        tick.cycles, skip.cycles,
+        "step modes must simulate identical cycle counts"
+    );
+    Trajectory { scale: args.scale, reps, tick, skip }
+}
+
+/// Runs one suite entry to completion, returning simulated cycles.
+fn run_entry(entry: &Entry, scale: Scale, mode: StepMode) -> u64 {
+    let mut cfg = scale.config();
+    if entry.hi_lat {
+        cfg.l1.mshrs = 256;
+        cfg.l1.mshr_merge_slots = 16;
+        cfg.dram.latency = 600;
+    }
+    let sim = simulation_for(entry.bench, entry.combo, scale, &cfg).step_mode(mode);
+    match sim.run() {
+        Ok(r) => r.cycles,
+        Err(e) => {
+            eprintln!("fatal: {} failed: [{}] {e}", suite_label(entry), e.class());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn mode_json(run: &ModeRun) -> Json {
+    Json::Obj(vec![
+        ("mode".into(), Json::str(run.mode.label())),
+        ("seconds".into(), Json::from_f64(run.total_seconds())),
+        ("sims_per_sec".into(), Json::from_f64(run.sims_per_sec())),
+        ("cycles_per_sec".into(), Json::from_f64(run.cycles_per_sec())),
+        (
+            "exhibits".into(),
+            Json::Arr(
+                SUITE
+                    .iter()
+                    .enumerate()
+                    .map(|(i, entry)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(suite_label(entry))),
+                            ("seconds".into(), Json::from_f64(run.seconds[i])),
+                            ("cycles".into(), Json::from_u64(run.cycles[i])),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn render(t: &Trajectory) -> String {
+    let doc = Json::Obj(vec![
+        ("format".into(), Json::from_u64(FORMAT_VERSION)),
+        ("tool".into(), Json::str("perf_trajectory")),
+        ("scale".into(), Json::str(t.scale.label())),
+        ("reps".into(), Json::from_u64(t.reps)),
+        ("modes".into(), Json::Arr(vec![mode_json(&t.tick), mode_json(&t.skip)])),
+        ("speedup_skip_over_tick".into(), Json::from_f64(t.speedup())),
+    ]);
+    let mut text = doc.to_pretty();
+    text.push('\n');
+    text
+}
+
+/// Largest `BENCH_<n>.json` index in the current directory, with its
+/// parsed contents.
+fn newest_trajectory() -> Option<(u64, Json)> {
+    let mut newest: Option<(u64, std::path::PathBuf)> = None;
+    for dirent in std::fs::read_dir(".").ok()?.flatten() {
+        let name = dirent.file_name().to_string_lossy().into_owned();
+        let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if newest.as_ref().is_none_or(|(best, _)| n > *best) {
+            newest = Some((n, dirent.path()));
+        }
+    }
+    let (n, path) = newest?;
+    let text = std::fs::read_to_string(&path).ok()?;
+    match parse(&text) {
+        Ok(doc) => Some((n, doc)),
+        Err(e) => {
+            eprintln!("warning: {} does not parse: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn write_next(t: &Trajectory) {
+    let next = newest_trajectory().map_or(1, |(n, _)| n + 1);
+    let path = format!("BENCH_{next:04}.json");
+    match std::fs::write(&path, render(t)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn check_gate(t: &Trajectory) {
+    let Some((n, doc)) = newest_trajectory() else {
+        eprintln!("perf-gate: no BENCH_*.json trajectory to compare against");
+        std::process::exit(1);
+    };
+    let Some(recorded) = doc.get("speedup_skip_over_tick").and_then(Json::as_f64) else {
+        eprintln!("perf-gate: BENCH_{n:04}.json lacks speedup_skip_over_tick");
+        std::process::exit(1);
+    };
+    let current = t.speedup();
+    let floor = recorded * (1.0 - GATE_TOLERANCE);
+    if current < floor {
+        eprintln!(
+            "perf-gate: FAIL — skip/tick speedup {current:.2}x regressed more than \
+             {:.0}% below the recorded {recorded:.2}x (BENCH_{n:04}.json floor {floor:.2}x)",
+            GATE_TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perf-gate: OK — skip/tick speedup {current:.2}x vs recorded {recorded:.2}x \
+         (BENCH_{n:04}.json, floor {floor:.2}x)"
+    );
+}

@@ -16,6 +16,10 @@
 //!   change recomputes only the changed jobs (see [`crate::cache`]);
 //! * `--no-time` — suppress wall-clock columns (binaries that print any),
 //!   so output is byte-comparable across runs;
+//! * `--step-mode tick|skip` — clock-advance strategy for every simulation
+//!   (default: the `APRES_STEP_MODE` environment variable, else `tick`);
+//!   the two modes produce byte-identical output (DESIGN.md §13), which
+//!   `scripts/bench_smoke.sh` re-checks on every run;
 //! * positional arguments — benchmark names for the binaries that take
 //!   them (`sweep`, `diag`).
 //!
@@ -24,6 +28,7 @@
 //! `std::env::args` themselves.
 
 use crate::Scale;
+use gpu_sm::StepMode;
 
 /// Parsed command line shared by the bench binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +47,8 @@ pub struct BenchArgs {
     pub cache: Option<String>,
     /// Suppress wall-clock output columns (`--no-time`).
     pub no_time: bool,
+    /// Clock-advance strategy (`--step-mode`, `APRES_STEP_MODE`, else tick).
+    pub step_mode: StepMode,
     /// Non-flag arguments, in order.
     pub positional: Vec<String>,
 }
@@ -56,7 +63,8 @@ impl BenchArgs {
                 eprintln!("{msg}");
                 eprintln!(
                     "usage: [--fast | --tiny] [--jobs N] [--csv DIR] [--json DIR] \
-                     [--seed S] [--cache DIR] [--no-time] [ARGS...]"
+                     [--seed S] [--cache DIR] [--no-time] [--step-mode tick|skip] \
+                     [ARGS...]"
                 );
                 std::process::exit(2);
             }
@@ -78,9 +86,11 @@ impl BenchArgs {
             seed: None,
             cache: None,
             no_time: false,
+            step_mode: StepMode::Tick,
             positional: Vec::new(),
         };
         let mut jobs_flag: Option<usize> = None;
+        let mut mode_flag: Option<StepMode> = None;
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -113,6 +123,13 @@ impl BenchArgs {
                 "--cache" => {
                     out.cache = Some(args.next().ok_or("--cache requires a directory")?);
                 }
+                "--step-mode" => {
+                    let v = args.next().ok_or("--step-mode requires tick or skip")?;
+                    mode_flag = Some(
+                        StepMode::from_label(&v)
+                            .ok_or_else(|| format!("--step-mode: unknown mode {v:?}"))?,
+                    );
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -120,6 +137,7 @@ impl BenchArgs {
             }
         }
         out.jobs = resolve_jobs(jobs_flag);
+        out.step_mode = resolve_step_mode(mode_flag);
         Ok(out)
     }
 
@@ -147,6 +165,21 @@ pub fn resolve_jobs(explicit: Option<usize>) -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// Resolves the clock-advance strategy: an explicit `--step-mode` wins,
+/// then the `APRES_STEP_MODE` environment variable, then [`StepMode::Tick`].
+pub fn resolve_step_mode(explicit: Option<StepMode>) -> StepMode {
+    if let Some(m) = explicit {
+        return m;
+    }
+    if let Ok(v) = std::env::var("APRES_STEP_MODE") {
+        if let Some(m) = StepMode::from_label(v.trim()) {
+            return m;
+        }
+        eprintln!("warning: ignoring unparsable APRES_STEP_MODE={v:?}");
+    }
+    StepMode::Tick
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,7 +198,30 @@ mod tests {
         assert_eq!(a.seed, None);
         assert_eq!(a.cache, None);
         assert!(!a.no_time);
+        assert_eq!(a.step_mode, StepMode::Tick);
         assert!(a.positional.is_empty());
+    }
+
+    #[test]
+    fn step_mode_flag() {
+        let a = parse(&["--step-mode", "skip"]).unwrap();
+        assert_eq!(a.step_mode, StepMode::SkipAhead);
+        let a = parse(&["--step-mode", "skip-ahead", "--tiny"]).unwrap();
+        assert_eq!(a.step_mode, StepMode::SkipAhead);
+        let a = parse(&["--step-mode", "tick"]).unwrap();
+        assert_eq!(a.step_mode, StepMode::Tick);
+        assert!(parse(&["--step-mode"]).unwrap_err().contains("--step-mode"));
+        assert!(parse(&["--step-mode", "warp9"])
+            .unwrap_err()
+            .contains("unknown mode"));
+    }
+
+    #[test]
+    fn explicit_step_mode_beats_env() {
+        assert_eq!(
+            resolve_step_mode(Some(StepMode::SkipAhead)),
+            StepMode::SkipAhead
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ use gpu_common::config::GpuConfig;
 use gpu_common::error::{SimError, SimResult};
 use gpu_common::rng::SeedStream;
 use gpu_common::stats::Throughput;
-use gpu_sm::RunResult;
+use gpu_sm::{RunResult, StepMode};
 use gpu_workloads::Benchmark;
 use std::io::IsTerminal;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -92,6 +92,10 @@ pub struct SimSweep {
     /// `--no-time`: suppress wall-clock figures in the stderr summary so
     /// runs are byte-comparable end to end (stdout already is).
     no_time: bool,
+    /// Clock-advance strategy for every standard point (`--step-mode`).
+    /// Modes are byte-identical by contract (DESIGN.md §13), so cached
+    /// results are shared across modes on purpose.
+    step_mode: StepMode,
 }
 
 impl SimSweep {
@@ -106,6 +110,7 @@ impl SimSweep {
             reseed: false,
             cache: None,
             no_time: false,
+            step_mode: StepMode::Tick,
         }
     }
 
@@ -116,6 +121,7 @@ impl SimSweep {
     pub fn from_args(name: impl Into<String>, args: &crate::cli::BenchArgs) -> Self {
         let mut sweep = SimSweep::new(name);
         sweep.no_time = args.no_time;
+        sweep.step_mode = args.step_mode;
         if let Some(base_seed) = args.seed {
             sweep = sweep.reseed_from(base_seed);
         }
@@ -142,6 +148,13 @@ impl SimSweep {
     pub fn reseed_from(mut self, base_seed: u64) -> Self {
         self.seeds = SeedStream::new(base_seed);
         self.reseed = true;
+        self
+    }
+
+    /// Selects the clock-advance strategy for every standard point
+    /// (custom [`SimSweep::add_fn`] jobs choose their own).
+    pub fn step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = mode;
         self
     }
 
@@ -175,8 +188,9 @@ impl SimSweep {
     ) -> JobId {
         let spec = JobSpec::new(bench, combo, scale, cfg);
         let cfg = cfg.clone();
+        let mode = self.step_mode;
         let id = self.add_fn(label, move |ctx| {
-            let mut sim = crate::simulation_for(bench, combo, scale, &cfg);
+            let mut sim = crate::simulation_for(bench, combo, scale, &cfg).step_mode(mode);
             if ctx.reseed {
                 sim = sim.workload_seed(ctx.seed);
             }
@@ -227,6 +241,7 @@ impl SimSweep {
             reseed,
             cache,
             no_time,
+            step_mode: _,
         } = self;
         let total = tasks.len();
         // Sweep elapsed feeds only stderr (TTY repaints + summary), never
@@ -719,6 +734,23 @@ mod tests {
             assert_eq!(ra.sim, rb.sim);
         }
         assert!(r1.throughput.cycles > 0);
+    }
+
+    #[test]
+    fn sweep_results_identical_across_step_modes() {
+        let run_mode = |mode: StepMode| {
+            let mut sweep = SimSweep::new("test").step_mode(mode);
+            let ids: Vec<JobId> = Benchmark::ALL
+                .iter()
+                .take(3)
+                .map(|b| sweep.add(*b, BASELINE, Scale::Tiny))
+                .collect();
+            let r = sweep.run(2);
+            ids.iter()
+                .map(|id| r.get(*id).cloned())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_mode(StepMode::Tick), run_mode(StepMode::SkipAhead));
     }
 
     #[test]

@@ -22,7 +22,7 @@ use gpu_kernel::Kernel;
 use gpu_prefetch::PrefetchEngine;
 use gpu_sched::SchedPolicy;
 use gpu_sm::traits::{NullPrefetcher, Prefetcher, WarpScheduler};
-use gpu_sm::{Gpu, RunResult, DEFAULT_WATCHDOG_WINDOW};
+use gpu_sm::{Gpu, RunResult, StepMode, DEFAULT_WATCHDOG_WINDOW};
 
 /// Default cycle budget; generous for every bundled workload. Runs that hit
 /// it end with [`gpu_sm::Termination::BudgetExhausted`] rather than being
@@ -141,6 +141,7 @@ pub struct Simulation {
     watchdog: Option<Cycle>,
     fault_plan: Option<FaultPlan>,
     seed_override: Option<u64>,
+    step_mode: StepMode,
 }
 
 impl Simulation {
@@ -156,6 +157,7 @@ impl Simulation {
             watchdog: Some(DEFAULT_WATCHDOG_WINDOW),
             fault_plan: None,
             seed_override: None,
+            step_mode: StepMode::default(),
         }
     }
 
@@ -242,6 +244,16 @@ impl Simulation {
         self
     }
 
+    /// Selects the clock-advance strategy ([`StepMode::Tick`] by default).
+    ///
+    /// [`StepMode::SkipAhead`] produces byte-identical results while
+    /// jumping over provably silent cycle spans (DESIGN.md §13); the
+    /// equivalence is re-checked on every bench-smoke run.
+    pub fn step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = mode;
+        self
+    }
+
     /// Runs the simulation to completion (or the cycle budget).
     ///
     /// # Errors
@@ -273,7 +285,7 @@ impl Simulation {
         if let Some(plan) = &self.fault_plan {
             gpu.arm_faults(plan);
         }
-        gpu.run(self.max_cycles)
+        gpu.run_with_mode(self.max_cycles, self.step_mode)
     }
 }
 
@@ -502,6 +514,28 @@ mod tests {
         assert_eq!(a.cycles, b.cycles, "same derived seed must reproduce");
         assert_eq!(a.l1, b.l1);
         assert_ne!(a.cycles, c.cycles, "different derived seeds must diverge");
+    }
+
+    #[test]
+    fn skip_ahead_matches_tick_through_the_facade() {
+        // End-to-end equivalence including LAWS+SAP policy state: the
+        // full RunResult must be identical in both step modes.
+        for (s, p) in [
+            (SchedulerChoice::Lrr, PrefetcherChoice::None),
+            (SchedulerChoice::Laws, PrefetcherChoice::Sap),
+        ] {
+            let at = |mode: StepMode| {
+                Simulation::new(strided_kernel())
+                    .config(gpu_common::GpuConfig::small_test())
+                    .scheduler(s)
+                    .prefetcher(p)
+                    .max_cycles(3_000_000)
+                    .step_mode(mode)
+                    .run()
+                    .unwrap()
+            };
+            assert_eq!(at(StepMode::Tick), at(StepMode::SkipAhead), "{s:?}+{p:?}");
+        }
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub struct Fixture {
 /// escape-hatch fixture.
 pub fn all() -> Vec<Fixture> {
     vec![
+        // The real-tree analogue of this fixture (L1 per-PC stats) was
+        // fixed per the flat-vs-ordered policy (DESIGN.md §13): the map
+        // became a PC-sorted `Vec<(Pc, PcStats)>` — deterministic
+        // iteration *and* a cheaper lookup path than any tree or table.
         Fixture {
             name: "hash-iter-over-stats-map",
             path: "crates/mem/src/fixture.rs",

@@ -125,6 +125,14 @@ const ITER_METHODS: &[&str] = &[
 /// iteration-order-dependent use of a hash name: an [`ITER_METHODS`] call
 /// or a `for … in` loop over it. Lookups (`get`, `insert`,
 /// `contains_key`) stay legal — only *order* is nondeterministic.
+///
+/// The remediation follows the workspace's flat-vs-ordered container
+/// policy (DESIGN.md §13): hot lookup paths replace the hash container
+/// with a **flat sorted `Vec`** (deterministic by construction, no
+/// pointer-chasing — the shipped MSHR file and L1 per-PC stats are the
+/// reference examples); `BTreeMap`/`BTreeSet` is the fallback where key
+/// order is genuinely load-bearing (event queues) or the set is tiny and
+/// rarely touched.
 fn hash_iter(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     let t = &ctx.lexed.tokens;
     let mut hash_names: Vec<&str> = Vec::new();
@@ -168,8 +176,9 @@ fn hash_iter(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                      RandomState makes the visit order differ per process",
                     tok.text
                 ),
-                "use BTreeMap/BTreeSet or a flat Vec indexed by id, or \
-                 collect-and-sort before iterating",
+                "prefer a flat sorted Vec on hot lookup paths (DESIGN.md \
+                 §13 container policy); use BTreeMap/BTreeSet when key \
+                 order is load-bearing, or collect-and-sort before iterating",
             );
         }
     }

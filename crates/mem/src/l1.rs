@@ -21,7 +21,7 @@ use gpu_common::config::CacheConfig;
 use gpu_common::fault::{FaultCounters, FaultState};
 use gpu_common::stats::{CacheStats, PrefetchStats};
 use gpu_common::{Cycle, LineAddr, Pc};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Default number of evicted-unused prefetches remembered for early-eviction
 /// attribution.
@@ -93,12 +93,15 @@ pub struct L1Cache {
     early: EarlyEvictionTracker,
     stats: CacheStats,
     pstats: PrefetchStats,
-    // Ordered containers, not hash: per-PC stats feed sorted report
-    // output and the no-fill set feeds fills, so neither may depend on
-    // a per-process RandomState (lint: hash-iter).
-    per_pc: BTreeMap<Pc, PcStats>,
+    // Flat PC-sorted vector on the per-access hot path: kernels have a
+    // handful of static loads, so a binary-searched contiguous vector
+    // beats tree nodes (DESIGN.md §13). Sortedness is load-bearing — the
+    // slice feeds report output directly, and emitted order must never
+    // depend on a per-process RandomState (lint rule `hash-iter`).
+    per_pc: Vec<(Pc, PcStats)>,
     bypass: Option<BypassPredictor>,
     /// Lines whose in-flight fill must not be installed (bypassed loads).
+    /// Ordered set: tiny, rarely touched, and deterministic by construction.
     no_fill: BTreeSet<LineAddr>,
     outgoing: VecDeque<MemRequest>,
     /// Injected-fault state (MSHR exhaustion bursts), when under test.
@@ -115,7 +118,7 @@ impl L1Cache {
             early: EarlyEvictionTracker::new(EARLY_TRACKER_CAPACITY),
             stats: CacheStats::default(),
             pstats: PrefetchStats::default(),
-            per_pc: BTreeMap::new(),
+            per_pc: Vec::new(),
             bypass: cfg.bypass.then(BypassPredictor::new),
             no_fill: BTreeSet::new(),
             outgoing: VecDeque::new(),
@@ -158,6 +161,18 @@ impl L1Cache {
             AccessKind::Prefetch => self.access_prefetch(req, now),
             AccessKind::Load => self.access_load(req, now),
         }
+    }
+
+    /// Mutable per-PC slot for `pc`, inserted PC-sorted on first use.
+    fn pc_slot(&mut self, pc: Pc) -> &mut PcStats {
+        let i = match self.per_pc.binary_search_by_key(&pc, |&(p, _)| p) {
+            Ok(i) => i,
+            Err(at) => {
+                self.per_pc.insert(at, (pc, PcStats::default()));
+                at
+            }
+        };
+        &mut self.per_pc[i].1
     }
 
     /// `true` while an injected MSHR-exhaustion burst refuses allocations.
@@ -204,7 +219,7 @@ impl L1Cache {
         if hit {
             self.stats.accesses += 1;
             self.stats.hits += 1;
-            let pcs = self.per_pc.entry(pc).or_default();
+            let pcs = self.pc_slot(pc);
             pcs.accesses += 1;
             pcs.hits += 1;
             if first_prefetch_use {
@@ -239,7 +254,7 @@ impl L1Cache {
             MshrOutcome::Merged { into_prefetch } => {
                 self.stats.accesses += 1;
                 self.stats.hits += 1;
-                let pcs = self.per_pc.entry(pc).or_default();
+                let pcs = self.pc_slot(pc);
                 pcs.accesses += 1;
                 pcs.hits += 1;
                 self.stats.mshr_merges += 1;
@@ -262,7 +277,7 @@ impl L1Cache {
                     self.no_fill.insert(line);
                 }
                 self.stats.accesses += 1;
-                self.per_pc.entry(pc).or_default().accesses += 1;
+                self.pc_slot(pc).accesses += 1;
                 match self.classifier.classify(line, false) {
                     AccessClass::CapacityConflictMiss => {
                         self.stats.capacity_conflict_misses += 1
@@ -342,9 +357,9 @@ impl L1Cache {
         &self.stats
     }
 
-    /// Per-static-load demand statistics (runtime equivalent of Table I's
-    /// per-PC miss rates, valid under any scheduler).
-    pub fn per_pc_stats(&self) -> &BTreeMap<Pc, PcStats> {
+    /// Per-static-load demand statistics, PC-sorted (runtime equivalent of
+    /// Table I's per-PC miss rates, valid under any scheduler).
+    pub fn per_pc_stats(&self) -> &[(Pc, PcStats)] {
         &self.per_pc
     }
 

@@ -17,6 +17,14 @@
 //!
 //! The L1 is *write-through, no-write-allocate* for global stores (the common
 //! GPU design point): stores generate L2 traffic but never perturb L1 state.
+//!
+//! Hot-path containers follow the flat-vs-ordered policy of DESIGN.md §13:
+//! flat arrays / vectors on per-cycle lookup paths, ordered containers only
+//! where iteration order is emitted or models an event queue. Every
+//! component also exposes a `next_event` bound so the skip-ahead cycle
+//! engine (`gpu_sm::StepMode`) can jump over provably silent spans.
+
+#![deny(missing_docs)]
 
 pub mod bypass;
 pub mod cache;

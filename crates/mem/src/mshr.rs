@@ -9,7 +9,6 @@
 
 use crate::request::{AccessKind, MemRequest};
 use gpu_common::LineAddr;
-use std::collections::BTreeMap;
 
 /// One in-flight miss.
 #[derive(Debug, Clone)]
@@ -68,10 +67,15 @@ pub enum MshrOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile {
-    // BTreeMap, not HashMap: `iter()` feeds diagnostics (deadlock dumps)
-    // and the property-test ledger, so the visit order must not depend
-    // on a per-process RandomState (lint: hash-iter).
-    entries: BTreeMap<LineAddr, MshrEntry>,
+    // Flat line-sorted vector, not a map: the file sits on the per-access
+    // hot path and holds at most `capacity` (≈32) entries, so a
+    // binary-searched contiguous vector beats pointer-chasing tree nodes
+    // (DESIGN.md §13, flat-vs-ordered container policy). Sortedness is the
+    // load-bearing part: `iter()` feeds diagnostics (deadlock dumps) and
+    // the property-test ledger, so the visit order must stay line-ordered
+    // and process-independent — never a HashMap's RandomState order
+    // (lint rule `hash-iter` documents this hazard).
+    entries: Vec<MshrEntry>,
     capacity: usize,
     merge_slots: usize,
 }
@@ -85,10 +89,16 @@ impl MshrFile {
     pub fn new(capacity: usize, merge_slots: usize) -> Self {
         debug_assert!(capacity > 0 && merge_slots > 0);
         MshrFile {
-            entries: BTreeMap::new(),
+            entries: Vec::with_capacity(capacity),
             capacity,
             merge_slots,
         }
+    }
+
+    /// Index of `line`'s entry, or the insertion point keeping the vector
+    /// line-sorted.
+    fn find(&self, line: LineAddr) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&line, |e| e.line)
     }
 
     /// Entries currently in flight.
@@ -113,53 +123,58 @@ impl MshrFile {
 
     /// `true` if a miss on `line` is in flight.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.entries.contains_key(&line)
+        self.find(line).is_ok()
     }
 
     /// In-flight entry for `line`, if any.
     pub fn entry(&self, line: LineAddr) -> Option<&MshrEntry> {
-        self.entries.get(&line)
+        self.find(line).ok().map(|i| &self.entries[i])
     }
 
     /// Registers a missing request: merges into an in-flight entry when one
     /// exists, otherwise allocates (if a register is free).
     pub fn register(&mut self, req: MemRequest) -> MshrOutcome {
-        if let Some(entry) = self.entries.get_mut(&req.line) {
-            if entry.merged.len() >= self.merge_slots {
-                return MshrOutcome::Rejected;
+        match self.find(req.line) {
+            Ok(i) => {
+                let entry = &mut self.entries[i];
+                if entry.merged.len() >= self.merge_slots {
+                    return MshrOutcome::Rejected;
+                }
+                let into_prefetch = entry.prefetch_only && req.kind.is_demand();
+                if req.kind.is_demand() {
+                    entry.prefetch_only = false;
+                }
+                entry.merged.push(req);
+                MshrOutcome::Merged { into_prefetch }
             }
-            let into_prefetch = entry.prefetch_only && req.kind.is_demand();
-            if req.kind.is_demand() {
-                entry.prefetch_only = false;
+            Err(at) => {
+                if self.is_full() {
+                    return MshrOutcome::Rejected;
+                }
+                let prefetch_only = req.kind == AccessKind::Prefetch;
+                self.entries.insert(
+                    at,
+                    MshrEntry {
+                        line: req.line,
+                        primary: req,
+                        merged: Vec::new(),
+                        prefetch_only,
+                    },
+                );
+                MshrOutcome::Allocated
             }
-            entry.merged.push(req);
-            return MshrOutcome::Merged { into_prefetch };
         }
-        if self.is_full() {
-            return MshrOutcome::Rejected;
-        }
-        let prefetch_only = req.kind == AccessKind::Prefetch;
-        self.entries.insert(
-            req.line,
-            MshrEntry {
-                line: req.line,
-                primary: req,
-                merged: Vec::new(),
-                prefetch_only,
-            },
-        );
-        MshrOutcome::Allocated
     }
 
     /// Completes the miss on `line`, releasing the register and returning
     /// the entry with all merged requests.
     pub fn complete(&mut self, line: LineAddr) -> Option<MshrEntry> {
-        self.entries.remove(&line)
+        self.find(line).ok().map(|i| self.entries.remove(i))
     }
 
-    /// Iterates over in-flight entries (diagnostics).
+    /// Iterates over in-flight entries in line order (diagnostics).
     pub fn iter(&self) -> impl Iterator<Item = &MshrEntry> {
-        self.entries.values()
+        self.entries.iter()
     }
 }
 
@@ -245,6 +260,17 @@ mod tests {
             MshrOutcome::Merged { into_prefetch: false }
         );
         assert!(!m.entry(LineAddr(7)).unwrap().prefetch_only);
+    }
+
+    #[test]
+    fn iter_stays_line_sorted_regardless_of_insertion_order() {
+        let mut m = MshrFile::new(8, 4);
+        for l in [5u64, 1, 7, 3, 6] {
+            assert_eq!(m.register(load(l, 0)), MshrOutcome::Allocated);
+        }
+        m.complete(LineAddr(3));
+        let lines: Vec<u64> = m.iter().map(|e| e.line.0).collect();
+        assert_eq!(lines, vec![1, 5, 6, 7], "diagnostics order must be line-sorted");
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! load's warp ID and cache-hit status to the scheduler; the scheduler may
 //! hand a warp group to the prefetcher; the prefetcher reports back the
 //! warps it targeted so the scheduler can prioritise them.
+//!
+//! The cycle loop supports two clock-advance strategies ([`StepMode`]):
+//! the reference tick-every-cycle loop and an opt-in skip-ahead mode that
+//! jumps over provably silent spans with byte-identical results
+//! (DESIGN.md §13).
+
+#![deny(missing_docs)]
 
 pub mod codec;
 pub mod gpu;
@@ -25,7 +32,7 @@ pub mod sm;
 pub mod trace;
 pub mod traits;
 
-pub use gpu::{Gpu, RunResult, Termination, DEFAULT_WATCHDOG_WINDOW};
+pub use gpu::{Gpu, RunResult, StepMode, Termination, DEFAULT_WATCHDOG_WINDOW};
 pub use sm::Sm;
 pub use traits::{
     DemandAccess, L1Event, L1Outcome, PrefetchRequest, Prefetcher, ReadyWarp, SchedCtx,

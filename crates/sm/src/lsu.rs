@@ -11,7 +11,7 @@ use crate::traits::{L1Event, L1Outcome};
 use gpu_common::{Addr, Cycle, LineAddr, Pc, SmId, WarpId};
 use gpu_mem::l1::{L1AccessOutcome, L1Cache, LineFill};
 use gpu_mem::request::MemRequest;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Key identifying one dynamic memory instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -89,7 +89,12 @@ pub struct Lsu {
     queue: VecDeque<MemOp>,
     store_queue: VecDeque<MemOp>,
     capacity: usize,
-    outstanding: BTreeMap<OpKey, OpState>,
+    /// In-flight dynamic loads. Flat vector, not a map: this sits on the
+    /// per-cycle hot path, holds at most `capacity` (≈16) entries, is only
+    /// ever probed by key (never iterated in an emitted order), and a
+    /// linear scan over a contiguous few-entry vector beats tree traversal
+    /// (see DESIGN.md §13 on the flat-vs-ordered container policy).
+    outstanding: Vec<(OpKey, OpState)>,
 }
 
 impl Lsu {
@@ -105,7 +110,7 @@ impl Lsu {
             queue: VecDeque::with_capacity(capacity),
             store_queue: VecDeque::with_capacity(capacity),
             capacity,
-            outstanding: BTreeMap::new(),
+            outstanding: Vec::with_capacity(capacity),
         }
     }
 
@@ -134,6 +139,14 @@ impl Lsu {
         self.queue.is_empty() && self.store_queue.is_empty() && self.outstanding.is_empty()
     }
 
+    /// `true` when both the load and store queues are empty (in-flight
+    /// fills may remain). While any queue is non-empty,
+    /// [`Lsu::process_one`] does observable work every cycle — sending or
+    /// retrying a line — so a cycle is only skippable when this holds.
+    pub fn queues_empty(&self) -> bool {
+        self.queue.is_empty() && self.store_queue.is_empty()
+    }
+
     /// Accepts a memory instruction.
     ///
     /// # Panics
@@ -150,7 +163,7 @@ impl Lsu {
         }
         assert!(self.has_room(), "LSU full");
         if op.is_load {
-            self.outstanding.insert(
+            self.outstanding.push((
                 OpKey {
                     warp: op.warp,
                     body_idx: op.body_idx,
@@ -162,7 +175,7 @@ impl Lsu {
                     latest_ready: 0,
                     issue_cycle: op.issue_cycle,
                 },
-            );
+            ));
         }
         self.queue.push_back(op);
     }
@@ -246,16 +259,17 @@ impl Lsu {
     }
 
     fn note_fill_pending(&mut self, key: OpKey) {
-        if let Some(st) = self.outstanding.get_mut(&key) {
+        if let Some((_, st)) = self.outstanding.iter_mut().find(|(k, _)| *k == key) {
             st.lines_left -= 1;
             st.fills_pending += 1;
         }
     }
 
     fn resolve_line(&mut self, key: OpKey, from_hit: bool, ready: Cycle, out: &mut LsuActivity) {
-        let Some(st) = self.outstanding.get_mut(&key) else {
+        let Some(pos) = self.outstanding.iter().position(|(k, _)| *k == key) else {
             return;
         };
+        let st = &mut self.outstanding[pos].1;
         if from_hit {
             st.lines_left -= 1;
         } else {
@@ -263,9 +277,7 @@ impl Lsu {
         }
         st.latest_ready = st.latest_ready.max(ready);
         if st.lines_left == 0 && st.fills_pending == 0 {
-            let Some(st) = self.outstanding.remove(&key) else {
-                return;
-            };
+            let (key, st) = self.outstanding.remove(pos);
             out.completions.push(LoadCompletion {
                 warp: key.warp,
                 body_idx: key.body_idx,

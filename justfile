@@ -1,8 +1,8 @@
 # Developer entry points. `just check` is the pre-merge gate.
 
-# Build + test + lint + docs + determinism + fault-tolerance smoke,
-# exactly what CI runs.
-check: build test clippy lint-kernels lint-workspace doc bench-smoke serve-smoke
+# Build + test + lint + docs + determinism + fault-tolerance smoke +
+# performance regression gate, exactly what CI runs.
+check: build test clippy lint-kernels lint-workspace doc bench-smoke serve-smoke perf-gate
 
 build:
     cargo build --release --workspace --bins --examples --benches
@@ -45,6 +45,18 @@ bench-smoke:
 # byte-identical to a direct harness run (needs `just build` first).
 serve-smoke:
     bash scripts/serve_smoke.sh
+
+# Measured-performance regression gate: re-times the pinned suite of
+# perf_trajectory in both step modes and fails if the skip/tick speedup
+# ratio regressed >10% vs the newest checked-in BENCH_*.json (the ratio,
+# not absolute rates, so the gate is machine-portable; METHODOLOGY.md).
+perf-gate:
+    cargo run --release -p apres-bench --bin perf_trajectory -- --fast --check > /dev/null
+
+# Regenerate the measured-performance trajectory after intentional
+# performance work: writes the next BENCH_<n>.json for review/check-in.
+perf-record:
+    cargo run --release -p apres-bench --bin perf_trajectory -- --fast --write > /dev/null
 
 # Regenerate every paper exhibit at reduced scale (smoke test of the
 # figure pipeline; skipped data points are reported on stderr).

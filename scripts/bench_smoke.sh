@@ -81,6 +81,55 @@ no_time_check() {
   fi
 }
 
+# Skip-ahead equivalence gate: every exhibit must print byte-identical
+# stdout under APRES_STEP_MODE=tick and APRES_STEP_MODE=skip (DESIGN.md
+# §13 — skip-ahead elides only provably silent cycles, so the statistics
+# are identical by construction, and this check keeps it that way).
+mode_compare() {
+  local name="$1"
+  shift
+  local out1 out2 rc
+  out1="$(APRES_STEP_MODE=tick "$BIN/$name" "$@" --jobs 1 2>/dev/null)"
+  rc=$?
+  if [ $rc -ne 0 ]; then
+    echo "FAIL $name: tick-mode run exited $rc"
+    fail=1
+    return
+  fi
+  out2="$(APRES_STEP_MODE=skip "$BIN/$name" "$@" --jobs 1 2>/dev/null)"
+  rc=$?
+  if [ $rc -ne 0 ]; then
+    echo "FAIL $name: skip-mode run exited $rc"
+    fail=1
+    return
+  fi
+  if [ "$out1" = "$out2" ]; then
+    echo "ok   $name (skip-ahead byte-identical to tick)"
+  else
+    echo "FAIL $name: stdout differs between step modes"
+    diff <(printf '%s\n' "$out1") <(printf '%s\n' "$out2") | head -10
+    fail=1
+  fi
+}
+
+# JSON variant of the step-mode equivalence check.
+mode_json_compare() {
+  local name="$1"
+  shift
+  local d1 d2
+  d1=$(mktemp -d)
+  d2=$(mktemp -d)
+  APRES_STEP_MODE=tick "$BIN/$name" "$@" --jobs 1 --json "$d1" >/dev/null 2>&1
+  APRES_STEP_MODE=skip "$BIN/$name" "$@" --jobs 1 --json "$d2" >/dev/null 2>&1
+  if diff -r "$d1" "$d2" >/dev/null 2>&1 && [ -n "$(ls -A "$d1")" ]; then
+    echo "ok   $name (skip-ahead json identical to tick)"
+  else
+    echo "FAIL $name: JSON artifacts differ between step modes"
+    fail=1
+  fi
+  rm -rf "$d1" "$d2"
+}
+
 # Every exhibit and study binary, at the scale bench-smoke exercises.
 compare fig2 --tiny
 compare fig3 --tiny
@@ -108,12 +157,49 @@ json_compare fig10 --tiny
 json_compare fig12 --tiny
 json_compare sweep --tiny
 
+# Skip-ahead ≡ tick for every simulating exhibit (stdout), plus the two
+# JSON shapes. `--step-mode` reaches the binaries via APRES_STEP_MODE.
+mode_compare fig2 --tiny
+mode_compare fig3 --tiny
+mode_compare fig4 --tiny
+mode_compare fig10 --tiny
+mode_compare fig11 --tiny
+mode_compare fig12 --tiny
+mode_compare fig13 --tiny
+mode_compare fig14 --tiny
+mode_compare fig15 --tiny
+mode_compare table1 --tiny
+mode_compare sweep --tiny
+mode_compare diag --tiny SRAD
+mode_compare ablation_apres --tiny
+mode_compare ablation_substrate --tiny
+mode_compare bypass_study --tiny
+mode_json_compare fig10 --tiny
+mode_json_compare sweep --tiny
+
 # --no-time runs must be silent about wall time everywhere (the Clock
 # routing of the bench binaries plus the harness's no-time summary).
 no_time_check probe --tiny
 no_time_check table1 --tiny
 no_time_check fidelity
 no_time_check fig10 --tiny
+
+# perf_trajectory's timing-free path: --dry-run must exit 0, print no
+# timing figures (measured rates belong to `just perf-gate`, not the
+# determinism smoke), and be byte-identical across invocations.
+ptj1="$("$BIN/perf_trajectory" --dry-run 2>&1)"
+if [ $? -ne 0 ]; then
+  echo "FAIL perf_trajectory: --dry-run exited non-zero"
+  fail=1
+elif printf '%s\n' "$ptj1" | grep -Eq 'in [0-9]+\.[0-9]+s|[0-9.]+ sims/s|cycles/s|instr/s'; then
+  echo "FAIL perf_trajectory: timing leaked into --dry-run output"
+  fail=1
+elif [ "$ptj1" != "$("$BIN/perf_trajectory" --dry-run 2>&1)" ]; then
+  echo "FAIL perf_trajectory: --dry-run output not reproducible"
+  fail=1
+else
+  echo "ok   perf_trajectory (--dry-run timing-free and reproducible)"
+fi
 
 if [ $fail -ne 0 ]; then
   echo "bench-smoke: FAILED"

@@ -9,6 +9,13 @@
 //! file list ([`apres_lint::workspace::PANIC_AUDITED`]), through a lexer
 //! that — unlike grep — sees through strings, comments, and
 //! `#[cfg(test)]` modules.
+//!
+//! The `hash-iter` rule's remediation direction is the flat-vs-ordered
+//! container policy of DESIGN.md §13: hot lookup paths use flat sorted
+//! `Vec`s (MSHR file, L1 per-PC stats, LSU outstanding ops — all
+//! deterministic by construction), `BTreeMap`/`BTreeSet` only where key
+//! order is load-bearing (event queues) or the set is tiny. A clean scan
+//! here means that policy is holding, not merely that `HashMap` is gone.
 
 // Integration tests may use the ergonomic panicking forms freely.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
