@@ -20,6 +20,11 @@
 //!   (default: the `APRES_STEP_MODE` environment variable, else `tick`);
 //!   the two modes produce byte-identical output (DESIGN.md §13), which
 //!   `scripts/bench_smoke.sh` re-checks on every run;
+//! * `--sim-threads N` — intra-simulation worker threads: `0` (default,
+//!   via the `APRES_SIM_THREADS` environment variable when set) runs the
+//!   reference serial engine, `N ≥ 1` the epoch engine, with byte-identical
+//!   output at any value (DESIGN.md §14) — also re-checked by
+//!   `scripts/bench_smoke.sh`;
 //! * positional arguments — benchmark names for the binaries that take
 //!   them (`sweep`, `diag`).
 //!
@@ -49,6 +54,9 @@ pub struct BenchArgs {
     pub no_time: bool,
     /// Clock-advance strategy (`--step-mode`, `APRES_STEP_MODE`, else tick).
     pub step_mode: StepMode,
+    /// Intra-simulation worker threads (`--sim-threads`,
+    /// `APRES_SIM_THREADS`, else 0 = serial engine).
+    pub sim_threads: usize,
     /// Non-flag arguments, in order.
     pub positional: Vec<String>,
 }
@@ -64,7 +72,7 @@ impl BenchArgs {
                 eprintln!(
                     "usage: [--fast | --tiny] [--jobs N] [--csv DIR] [--json DIR] \
                      [--seed S] [--cache DIR] [--no-time] [--step-mode tick|skip] \
-                     [ARGS...]"
+                     [--sim-threads N] [ARGS...]"
                 );
                 std::process::exit(2);
             }
@@ -87,10 +95,12 @@ impl BenchArgs {
             cache: None,
             no_time: false,
             step_mode: StepMode::Tick,
+            sim_threads: 0,
             positional: Vec::new(),
         };
         let mut jobs_flag: Option<usize> = None;
         let mut mode_flag: Option<StepMode> = None;
+        let mut sim_threads_flag: Option<usize> = None;
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -130,6 +140,13 @@ impl BenchArgs {
                             .ok_or_else(|| format!("--step-mode: unknown mode {v:?}"))?,
                     );
                 }
+                "--sim-threads" => {
+                    let v = args.next().ok_or("--sim-threads requires a value")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--sim-threads: not a number: {v:?}"))?;
+                    sim_threads_flag = Some(n);
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -138,6 +155,7 @@ impl BenchArgs {
         }
         out.jobs = resolve_jobs(jobs_flag);
         out.step_mode = resolve_step_mode(mode_flag);
+        out.sim_threads = resolve_sim_threads(sim_threads_flag);
         Ok(out)
     }
 
@@ -178,6 +196,23 @@ pub fn resolve_step_mode(explicit: Option<StepMode>) -> StepMode {
         eprintln!("warning: ignoring unparsable APRES_STEP_MODE={v:?}");
     }
     StepMode::Tick
+}
+
+/// Resolves the intra-simulation thread count: an explicit `--sim-threads`
+/// wins, then the `APRES_SIM_THREADS` environment variable, then `0`
+/// (serial engine). Unlike `--jobs`, `0` is a valid explicit value: it
+/// selects [`gpu_sm::Parallelism::Serial`].
+pub fn resolve_sim_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n;
+    }
+    if let Ok(v) = std::env::var("APRES_SIM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n;
+        }
+        eprintln!("warning: ignoring unparsable APRES_SIM_THREADS={v:?}");
+    }
+    0
 }
 
 #[cfg(test)]
@@ -269,5 +304,25 @@ mod tests {
     #[test]
     fn explicit_jobs_beats_env() {
         assert_eq!(resolve_jobs(Some(3)), 3);
+    }
+
+    #[test]
+    fn sim_threads_flag() {
+        let a = parse(&["--sim-threads", "4"]).unwrap();
+        assert_eq!(a.sim_threads, 4);
+        let a = parse(&["--sim-threads", "0", "--tiny"]).unwrap();
+        assert_eq!(a.sim_threads, 0);
+        assert!(parse(&["--sim-threads"])
+            .unwrap_err()
+            .contains("--sim-threads"));
+        assert!(parse(&["--sim-threads", "x"])
+            .unwrap_err()
+            .contains("not a number"));
+    }
+
+    #[test]
+    fn explicit_sim_threads_beats_env() {
+        assert_eq!(resolve_sim_threads(Some(2)), 2);
+        assert_eq!(resolve_sim_threads(Some(0)), 0);
     }
 }

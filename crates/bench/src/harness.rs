@@ -96,6 +96,11 @@ pub struct SimSweep {
     /// Modes are byte-identical by contract (DESIGN.md §13), so cached
     /// results are shared across modes on purpose.
     step_mode: StepMode,
+    /// Intra-simulation worker threads for every standard point
+    /// (`--sim-threads`; 0 = serial engine). Engines are byte-identical
+    /// by contract (DESIGN.md §14), so cached results are shared across
+    /// thread counts on purpose, exactly like step modes.
+    sim_threads: usize,
 }
 
 impl SimSweep {
@@ -111,6 +116,7 @@ impl SimSweep {
             cache: None,
             no_time: false,
             step_mode: StepMode::Tick,
+            sim_threads: 0,
         }
     }
 
@@ -122,6 +128,7 @@ impl SimSweep {
         let mut sweep = SimSweep::new(name);
         sweep.no_time = args.no_time;
         sweep.step_mode = args.step_mode;
+        sweep.sim_threads = args.sim_threads;
         if let Some(base_seed) = args.seed {
             sweep = sweep.reseed_from(base_seed);
         }
@@ -158,6 +165,16 @@ impl SimSweep {
         self
     }
 
+    /// Selects the intra-simulation engine for every standard point by
+    /// thread count (`0` = serial, `n ≥ 1` = epoch engine; custom
+    /// [`SimSweep::add_fn`] jobs choose their own). Orthogonal to the
+    /// sweep-level `--jobs` pool: `--jobs` parallelises *across*
+    /// simulations, `--sim-threads` *inside* each one.
+    pub fn sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = threads;
+        self
+    }
+
     /// Enqueues one (benchmark, policy) point at a scale's default config.
     pub fn add(&mut self, bench: Benchmark, combo: Combo, scale: Scale) -> JobId {
         self.add_with_config(bench, combo, scale, &scale.config())
@@ -189,8 +206,11 @@ impl SimSweep {
         let spec = JobSpec::new(bench, combo, scale, cfg);
         let cfg = cfg.clone();
         let mode = self.step_mode;
+        let sim_threads = self.sim_threads;
         let id = self.add_fn(label, move |ctx| {
-            let mut sim = crate::simulation_for(bench, combo, scale, &cfg).step_mode(mode);
+            let mut sim = crate::simulation_for(bench, combo, scale, &cfg)
+                .step_mode(mode)
+                .sim_threads(sim_threads);
             if ctx.reseed {
                 sim = sim.workload_seed(ctx.seed);
             }
@@ -242,6 +262,7 @@ impl SimSweep {
             cache,
             no_time,
             step_mode: _,
+            sim_threads: _,
         } = self;
         let total = tasks.len();
         // Sweep elapsed feeds only stderr (TTY repaints + summary), never
@@ -751,6 +772,31 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run_mode(StepMode::Tick), run_mode(StepMode::SkipAhead));
+    }
+
+    #[test]
+    fn sweep_results_identical_across_sim_threads() {
+        // The harness-layer leg of the epoch-engine contract: a sweep over
+        // real benchmarks is byte-identical whether each simulation runs
+        // serially or on the epoch engine, in both step modes.
+        let run_threads = |threads: usize, mode: StepMode| {
+            let mut sweep = SimSweep::new("test").step_mode(mode).sim_threads(threads);
+            let ids: Vec<JobId> = Benchmark::ALL
+                .iter()
+                .take(3)
+                .map(|b| sweep.add(*b, BASELINE, Scale::Tiny))
+                .collect();
+            let r = sweep.run(2);
+            ids.iter()
+                .map(|id| r.get(*id).cloned())
+                .collect::<Vec<_>>()
+        };
+        for mode in [StepMode::Tick, StepMode::SkipAhead] {
+            let serial = run_threads(0, mode);
+            assert!(serial.iter().all(Option::is_some));
+            assert_eq!(serial, run_threads(1, mode), "{mode} x1");
+            assert_eq!(serial, run_threads(2, mode), "{mode} x2");
+        }
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub struct Fixture {
     pub expect_line: usize,
 }
 
-/// The full corpus: six defective fixtures (one per rule) plus the
-/// escape-hatch fixture.
+/// The full corpus: seven defective fixtures (at least one per rule) plus
+/// two escape-hatch fixtures that must lint clean.
 pub fn all() -> Vec<Fixture> {
     vec![
         // The real-tree analogue of this fixture (L1 per-PC stats) was
@@ -91,6 +91,27 @@ pub struct Scoreboard { slots: std::sync::Mutex<Vec<u64>> }
 "#,
             expect_rule: Some("shared-mut"),
             expect_line: 2,
+        },
+        // Channels are shared-mut in sim crates everywhere except the
+        // epoch barrier (crates/sm/src/epoch.rs), whose waivers are
+        // counted and pinned by tests/workspace_lint.rs.
+        Fixture {
+            name: "shared-mut-channel-in-sim",
+            path: "crates/mem/src/fixture.rs",
+            source: r#"
+pub struct FillPath { tx: std::sync::mpsc::Sender<u64> }
+"#,
+            expect_rule: Some("shared-mut"),
+            expect_line: 2,
+        },
+        Fixture {
+            name: "shared-mut-channel-epoch-waiver",
+            path: "crates/sm/src/fixture.rs",
+            source: r#"
+type Tx<T> = std::sync::mpsc::Sender<T>; // lint: allow(shared-mut)
+"#,
+            expect_rule: None,
+            expect_line: 0,
         },
         Fixture {
             name: "panic-path-on-audited-file",
@@ -182,7 +203,7 @@ mod tests {
             stale_baseline: Vec::new(),
         };
         let diag = report.to_report();
-        assert_eq!(diag.count(Severity::Warning), 6);
+        assert_eq!(diag.count(Severity::Warning), 7);
         assert!(!diag.is_clean());
         assert!(!diag.has_errors(), "lint findings are warnings, not errors");
     }

@@ -14,7 +14,7 @@
 //! | `wall-clock`   | `Instant::now`/`SystemTime` outside the `Clock` trait     |
 //! | `unseeded-rng` | RNG construction from entropy instead of a derived seed   |
 //! | `float-ord`    | float sort keys / `partial_cmp().unwrap()` partial orders |
-//! | `shared-mut`   | `static mut`, `Relaxed` atomics, locks in simulator state |
+//! | `shared-mut`   | `static mut`, `Relaxed` atomics, locks, channels in sim state |
 //! | `panic-path`   | panicking escape hatches on audited critical paths        |
 //!
 //! Rules are token-level with light semantic tracking (hash-typed binding
@@ -487,6 +487,36 @@ fn shared_mut(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                  is unavoidable use SeqCst and document why",
             );
         }
+        // Channels are cross-thread communication too: only the epoch
+        // barrier (gpu-sm's `epoch` module) may use them, through explicit
+        // shared-mut waiver comments — tests/workspace_lint.rs caps how
+        // many such waivers exist and pins them to that file.
+        let is_channel_ctor = tok.is_ident("channel")
+            && i >= 2
+            && t[i - 1].is_punct(':')
+            && t[i - 2].is_punct(':')
+            && t.get(i.wrapping_sub(3)).is_some_and(|m| m.is_ident("mpsc"));
+        if tok.is_ident("Sender")
+            || tok.is_ident("Receiver")
+            || tok.is_ident("SyncSender")
+            || is_channel_ctor
+        {
+            emit(
+                ctx,
+                out,
+                "shared-mut",
+                i,
+                format!(
+                    "`{}` in a simulator crate: channel traffic order is \
+                     scheduler-chosen unless drained at a deterministic \
+                     barrier",
+                    tok.text
+                ),
+                "only the epoch-barrier shard exchange may use channels; \
+                 anywhere else, exchange inter-SM messages through owned \
+                 queues in a fixed order",
+            );
+        }
     }
 }
 
@@ -680,6 +710,28 @@ mod tests {
         let infra = run(src, false, false);
         assert_eq!(infra.len(), 1, "{infra:?}");
         assert_eq!(infra[0].line, 1);
+    }
+
+    #[test]
+    fn shared_mut_flags_channels_in_sim_crates() {
+        let src = "struct S { tx: std::sync::mpsc::Sender<u64> }\n\
+                   fn f() -> Receiver<u64> { let (a, b) = mpsc::channel(); b }\n\
+                   fn g(s: SyncSender<u64>) { s.send(1); }";
+        let sim = run(src, true, false);
+        // Sender; Receiver and the mpsc::channel() ctor; SyncSender.
+        assert_eq!(sim.len(), 4, "{sim:?}");
+        assert!(sim.iter().all(|f| f.rule == "shared-mut"));
+        assert!(run(src, false, false).is_empty(), "infra crates may use channels");
+        // A bare `channel` identifier (helper fn, local) is not a ctor call.
+        let ok = run("fn channel() -> u32 { let channel = 3; channel }", true, false);
+        assert!(ok.is_empty(), "{ok:?}");
+        // The epoch-barrier escape hatch works per line.
+        let allowed = run(
+            "type Tx<T> = mpsc::Sender<T>; // lint: allow(shared-mut)\n",
+            true,
+            false,
+        );
+        assert!(allowed.is_empty(), "{allowed:?}");
     }
 
     #[test]

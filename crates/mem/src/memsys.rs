@@ -185,11 +185,32 @@ impl MemorySystem {
             .unwrap_or_default()
     }
 
+    /// Removes every in-flight response bound for `sm`, returning each fill
+    /// with the cycle at which it completes NoC traversal (FIFO order).
+    /// Engines that hand fills to per-SM inboxes call this after
+    /// [`MemorySystem::tick`]; the receiver must respect the ready cycles to
+    /// preserve [`MemorySystem::drain_fills`] semantics.
+    pub fn take_fills(&mut self, sm: usize) -> Vec<(Cycle, MemRequest)> {
+        self.from_l2
+            .get_mut(sm)
+            .map(DelayPipe::drain_timed)
+            .unwrap_or_default()
+    }
+
     /// Records a completed demand load's round-trip latency (called by the
     /// SM when it wakes the warp).
     pub fn note_load_latency(&mut self, latency: Cycle) {
         self.stats.total_load_latency += latency;
         self.stats.completed_loads += 1;
+    }
+
+    /// Folds in a batch of completed-load latencies accumulated elsewhere
+    /// (the per-SM ports of the epoch engine). Pure sums, so the merge is
+    /// order-independent and byte-identical to per-load
+    /// [`MemorySystem::note_load_latency`] calls.
+    pub fn add_load_latencies(&mut self, total: Cycle, count: u64) {
+        self.stats.total_load_latency += total;
+        self.stats.completed_loads += count;
     }
 
     /// Aggregate traffic/latency statistics.

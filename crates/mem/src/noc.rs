@@ -72,6 +72,14 @@ impl<T> DelayPipe<T> {
     pub fn next_ready(&self) -> Option<Cycle> {
         self.queue.front().map(|&(r, _)| r)
     }
+
+    /// Empties the pipe, returning every in-flight item together with the
+    /// cycle at which it completes traversal (FIFO order, ready cycles
+    /// non-decreasing). Used by engines that re-home in-flight responses
+    /// into per-SM inboxes at an epoch barrier.
+    pub fn drain_timed(&mut self) -> Vec<(Cycle, T)> {
+        self.queue.drain(..).collect()
+    }
 }
 
 #[cfg(test)]

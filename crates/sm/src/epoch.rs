@@ -1,0 +1,587 @@
+//! Epoch-synchronized intra-simulation parallelism.
+//!
+//! The serial engine interleaves SM and memory-system work every cycle.
+//! This module runs the same simulation sharded: SMs advance independently
+//! for an **epoch** of `E = noc.latency.max(1)` cycles on a scoped thread
+//! pool, then a **barrier** on the driving thread replays every port's
+//! outbox into the shared memory system in fixed SM-id order, cycle by
+//! cycle, ticking the NoC/L2/DRAM serially. Because a fill produced at
+//! barrier cycle `u` is never visible to an SM before `u + noc.latency ≥
+//! t1`, no SM inside the epoch can observe work the barrier has not done
+//! yet — so the interleaving (and every statistic, fault-RNG draw, and
+//! watchdog checkpoint) is byte-identical to the serial engine at any
+//! thread count. `DESIGN.md` §14 carries the full argument.
+//!
+//! Watchdog and budget semantics are preserved exactly by *truncating*
+//! epochs: an epoch never runs past the cycle budget, nor past the next
+//! possible watchdog-firing cycle (256-aligned deadline), so a timeout or
+//! `BudgetExhausted` lands on the same cycle as serially regardless of E
+//! or thread count. If the run drains mid-epoch, the workers' few overrun
+//! cycles are rewound ([`crate::sm::Sm`]`::rewind_overrun`) — a finished
+//! SM's tick touches nothing but fixed stall accounting.
+//!
+//! Threading uses only `std` scoped threads plus rendezvous channels that
+//! round-trip *ownership* of whole shards (SM + port) between the driver
+//! and persistent workers — no shared mutable state, which is why the
+//! workspace `shared-mut` lint carves out exactly this module's channel
+//! types and nothing else.
+
+use crate::gpu::{Gpu, RunResult, StepMode};
+use crate::port::SmPort;
+use crate::sm::Sm;
+use gpu_common::{Cycle, SimError, SimResult};
+use gpu_mem::request::MemRequest;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+
+/// Watchdog checkpoints sit at multiples of this stride (shared with the
+/// serial engine's sampling in `gpu.rs`).
+const WD_STRIDE: Cycle = 0x100;
+
+/// Execution engine selector for [`Gpu::run_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// The reference serial loop ([`Gpu::run_with_mode`] verbatim).
+    #[default]
+    Serial,
+    /// The epoch engine on `n` worker threads (clamped to `[1, num_sms]`;
+    /// `EpochThreads(1)` still exercises the pool). Results are
+    /// byte-identical to [`Parallelism::Serial`] at any value.
+    EpochThreads(usize),
+}
+
+impl Parallelism {
+    /// CLI convention used by `--sim-threads`: `0` selects the serial
+    /// engine, `n ≥ 1` the epoch engine on `n` threads.
+    pub fn from_threads(n: usize) -> Self {
+        if n == 0 {
+            Parallelism::Serial
+        } else {
+            Parallelism::EpochThreads(n)
+        }
+    }
+
+    /// Stable label for logs/artifacts (`"serial"` / `"epoch(n)"`).
+    pub fn label(self) -> String {
+        match self {
+            Parallelism::Serial => "serial".to_owned(),
+            Parallelism::EpochThreads(n) => format!("epoch({n})"),
+        }
+    }
+}
+
+// The epoch barrier's only synchronization primitives: rendezvous channels
+// that round-trip ownership of whole shards between driver and workers.
+// These aliases are the sanctioned, narrowly-scoped exception to the
+// workspace `shared-mut` rule — tests/workspace_lint.rs caps their number
+// and pins them to this file.
+type Tx<T> = mpsc::Sender<T>; // lint: allow(shared-mut)
+type Rx<T> = mpsc::Receiver<T>; // lint: allow(shared-mut)
+
+/// Builds one rendezvous channel (the only call site of the carve-out).
+fn channel_pair<T>() -> (Tx<T>, Rx<T>) {
+    mpsc::channel() // lint: allow(shared-mut)
+}
+
+/// One SM plus its port, tagged with its position in `Gpu::sms`.
+struct Shard {
+    idx: usize,
+    sm: Sm,
+    port: SmPort,
+}
+
+/// One epoch of work for one worker: advance every shard from `t0` to
+/// `t1`, accumulating instruction counts at the 256-aligned watchdog
+/// checkpoints in `(t0, t1]` (`n_checks` of them).
+struct Job {
+    shards: Vec<Shard>,
+    t0: Cycle,
+    t1: Cycle,
+    n_checks: usize,
+}
+
+/// A worker's completed epoch: the shards (returned ownership), each with
+/// the first cycle at which it was locally finished (retired warps, empty
+/// inbox), plus its summed per-checkpoint instruction counts.
+struct EpochOut {
+    shards: Vec<(Shard, Option<Cycle>)>,
+    checks: Vec<u64>,
+}
+
+/// `None` signals a worker panic (the shards it held are lost).
+type Reply = Option<EpochOut>;
+
+/// Runs `gpu` to completion under the epoch engine. Entry point for
+/// [`Parallelism::EpochThreads`]; byte-identical to the serial engine.
+pub(crate) fn run_epochs(
+    mut gpu: Gpu,
+    max_cycles: Cycle,
+    mode: StepMode,
+    threads: usize,
+) -> SimResult<RunResult> {
+    let num_sms = gpu.sms.len();
+    if num_sms == 0 {
+        return gpu.finish(max_cycles);
+    }
+    let threads = threads.clamp(1, num_sms);
+    let epoch_len = gpu.cfg.noc.latency.max(1);
+    std::thread::scope(|scope| {
+        let (reply_tx, reply_rx) = channel_pair::<Reply>();
+        let mut job_txs: Vec<Tx<Job>> = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (job_tx, job_rx) = channel_pair::<Job>();
+            job_txs.push(job_tx);
+            let reply_tx = reply_tx.clone();
+            scope.spawn(move || worker(job_rx, reply_tx));
+        }
+        drop(reply_tx);
+        let outcome = drive(&mut gpu, max_cycles, mode, epoch_len, &job_txs, &reply_rx);
+        drop(job_txs); // workers see the hangup and exit before scope joins
+        outcome
+    })?;
+    gpu.finish(max_cycles)
+}
+
+/// Persistent worker loop: receive an epoch job, run it, send the shards
+/// back. A panic in simulation code is caught and reported as a lost
+/// shard (`None`) rather than deadlocking the driver.
+fn worker(jobs: Rx<Job>, replies: Tx<Reply>) {
+    while let Ok(job) = jobs.recv() {
+        let out = catch_unwind(AssertUnwindSafe(|| run_job(job))).ok();
+        if replies.send(out).is_err() {
+            return;
+        }
+    }
+}
+
+/// Advances every shard of `job` independently through `[t0, t1)`.
+fn run_job(job: Job) -> EpochOut {
+    let mut checks = vec![0u64; job.n_checks];
+    let mut shards = Vec::with_capacity(job.shards.len());
+    for mut shard in job.shards {
+        let finished_at = run_shard(&mut shard.sm, &mut shard.port, job.t0, job.t1, &mut checks);
+        shards.push((shard, finished_at));
+    }
+    EpochOut { shards, checks }
+}
+
+/// Ticks one SM through `[t0, t1)` against its port only. Returns the
+/// first cycle at which the SM was locally finished with an empty inbox
+/// (earlier outbox entries are accounted by the barrier's replay, so they
+/// do not block local completion). Checkpoint slot `k` accumulates the
+/// SM's issued-instruction count as of cycle `first_check + k·256` —
+/// exactly what the serial watchdog would read there.
+fn run_shard(
+    sm: &mut Sm,
+    port: &mut SmPort,
+    t0: Cycle,
+    t1: Cycle,
+    checks: &mut [u64],
+) -> Option<Cycle> {
+    let mut finished_at = None;
+    let mut ck = 0;
+    for t in t0..t1 {
+        if finished_at.is_none() && port.inbox_is_empty() && sm.is_finished() {
+            finished_at = Some(t);
+        }
+        sm.tick(t, port);
+        if (t + 1) & (WD_STRIDE - 1) == 0 {
+            if let Some(slot) = checks.get_mut(ck) {
+                *slot += sm.stats().instructions;
+            }
+            ck += 1;
+        }
+    }
+    if finished_at.is_none() && port.inbox_is_empty() && sm.is_finished() {
+        finished_at = Some(t1);
+    }
+    finished_at
+}
+
+fn worker_died(now: Cycle) -> SimError {
+    SimError::invariant(
+        "epoch-pool",
+        "an epoch worker thread died and its shard state was lost",
+        now,
+    )
+}
+
+/// The driver loop: shard out, collect, barrier, repeat. Runs on the
+/// calling thread; all memory-system mutation happens here, serially.
+fn drive(
+    gpu: &mut Gpu,
+    max_cycles: Cycle,
+    mode: StepMode,
+    epoch_len: Cycle,
+    job_txs: &[Tx<Job>],
+    replies: &Rx<Reply>,
+) -> SimResult<()> {
+    let num_sms = gpu.sms.len();
+    loop {
+        if gpu.now >= max_cycles || gpu.is_finished() {
+            return Ok(());
+        }
+        if mode == StepMode::SkipAhead {
+            // Epoch boundaries are exact serial states, so the skip-ahead
+            // lattice applies unchanged (results are mode-invariant, so
+            // skipping at a coarser cadence than the serial skip loop
+            // cannot be observed).
+            gpu.try_skip(max_cycles)?;
+            if gpu.now >= max_cycles || gpu.is_finished() {
+                return Ok(());
+            }
+        }
+        let t0 = gpu.now;
+        let mut t1 = (t0 + epoch_len).min(max_cycles);
+        if let Some(window) = gpu.watchdog_window {
+            // Truncate at the earliest cycle the watchdog could fire, so a
+            // timeout is always raised at an epoch end, where SM state is
+            // exactly the serial state (same diagnosis, same cycle).
+            let deadline = (gpu.wd_last_cycle + window).div_ceil(WD_STRIDE) * WD_STRIDE;
+            debug_assert!(deadline > t0, "missed watchdog deadline {deadline} <= {t0}");
+            t1 = t1.min(deadline.max(t0 + 1));
+        }
+        let n_checks = ((t1 >> 8) - (t0 >> 8)) as usize;
+
+        // Shard out: ownership of every (SM, port) pair moves to a worker,
+        // round-robin by SM id so the load stays balanced.
+        let sms = std::mem::take(&mut gpu.sms);
+        let ports = std::mem::take(&mut gpu.ports);
+        let threads = job_txs.len();
+        let mut batches: Vec<Vec<Shard>> = (0..threads).map(|_| Vec::new()).collect();
+        for (idx, (sm, port)) in sms.into_iter().zip(ports).enumerate() {
+            if let Some(batch) = batches.get_mut(idx % threads) {
+                batch.push(Shard { idx, sm, port });
+            }
+        }
+        for (tx, shards) in job_txs.iter().zip(batches) {
+            let job = Job { shards, t0, t1, n_checks };
+            if tx.send(job).is_err() {
+                return Err(worker_died(t0));
+            }
+        }
+
+        // Collect: every worker reports exactly once per epoch.
+        let mut checks = vec![0u64; n_checks];
+        let mut slots: Vec<Option<(Sm, SmPort)>> = (0..num_sms).map(|_| None).collect();
+        let mut finished: Vec<Option<Cycle>> = vec![None; num_sms];
+        for _ in 0..threads {
+            let Ok(reply) = replies.recv() else {
+                return Err(worker_died(t0));
+            };
+            let Some(out) = reply else {
+                return Err(worker_died(t0));
+            };
+            for (k, c) in out.checks.iter().enumerate() {
+                if let Some(total) = checks.get_mut(k) {
+                    *total += c;
+                }
+            }
+            for (shard, fin) in out.shards {
+                if let Some(f) = finished.get_mut(shard.idx) {
+                    *f = fin;
+                }
+                if let Some(slot) = slots.get_mut(shard.idx) {
+                    *slot = Some((shard.sm, shard.port));
+                }
+            }
+        }
+        for slot in &mut slots {
+            match slot.take() {
+                Some((sm, port)) => {
+                    gpu.sms.push(sm);
+                    gpu.ports.push(port);
+                }
+                None => return Err(worker_died(t0)),
+            }
+        }
+
+        // Barrier: replay the epoch's port traffic through the shared
+        // memory system, serially, in SM-id order per cycle.
+        if let Some(finish_cycle) = barrier(gpu, t0, t1, &checks, &finished)? {
+            // The run drained mid-epoch; rewind the workers' overrun
+            // cycles (all-finished, empty-inbox ticks touch only fixed
+            // stall accounting — the exact inverse of `note_skipped`).
+            let overrun = t1 - finish_cycle;
+            if overrun > 0 {
+                for sm in &mut gpu.sms {
+                    sm.rewind_overrun(overrun);
+                }
+            }
+            gpu.now = finish_cycle;
+            return Ok(());
+        }
+        gpu.now = t1;
+    }
+}
+
+/// Replays one epoch of outbox traffic into the memory system — each
+/// request at the cycle its SM submitted it, SM-id order within a cycle —
+/// ticking the NoC/L2/DRAM once per cycle and evaluating the watchdog at
+/// every 256-aligned checkpoint, exactly as the serial loop would. Returns
+/// the global finish cycle if the run drained inside this epoch.
+///
+/// Matured fills stay in the memory system's response pipes until the
+/// epoch end (so `is_idle` correctly blocks early finishes) and are then
+/// re-homed into the inboxes with their ready cycles intact.
+fn barrier(
+    gpu: &mut Gpu,
+    t0: Cycle,
+    t1: Cycle,
+    checks: &[u64],
+    finished: &[Option<Cycle>],
+) -> SimResult<Option<Cycle>> {
+    let mut boxes: Vec<VecDeque<(Cycle, MemRequest)>> = Vec::with_capacity(gpu.ports.len());
+    for port in &mut gpu.ports {
+        boxes.push(port.take_outbox().into());
+        let (total, count) = port.take_latencies();
+        gpu.mem.add_load_latencies(total, count);
+    }
+    let mut ck = 0;
+    for t in t0..t1 {
+        for (i, mailbox) in boxes.iter_mut().enumerate() {
+            while mailbox.front().is_some_and(|&(c, _)| c == t) {
+                if let Some((_, req)) = mailbox.pop_front() {
+                    gpu.mem.submit(i, req, t);
+                }
+            }
+        }
+        gpu.mem.tick(t);
+        let now = t + 1;
+        if let Some(window) = gpu.watchdog_window {
+            if now & (WD_STRIDE - 1) == 0 {
+                let Some(&instr) = checks.get(ck) else {
+                    return Err(SimError::invariant(
+                        "epoch-checkpoints",
+                        "watchdog checkpoint count diverged from the epoch plan",
+                        now,
+                    ));
+                };
+                ck += 1;
+                let progress = instr + gpu.mem.delivered();
+                if progress != gpu.wd_last_count {
+                    gpu.wd_last_count = progress;
+                    gpu.wd_last_cycle = now;
+                } else if now - gpu.wd_last_cycle >= window {
+                    debug_assert!(now == t1, "watchdog fired mid-epoch despite truncation");
+                    gpu.now = now;
+                    return Err(SimError::WatchdogTimeout {
+                        cycle: now,
+                        idle_cycles: now - gpu.wd_last_cycle,
+                        diagnosis: gpu.diagnose(),
+                    });
+                }
+            }
+        }
+        if gpu.mem.is_idle() && finished.iter().all(|f| f.is_some_and(|c| c <= now)) {
+            debug_assert!(
+                boxes.iter().all(VecDeque::is_empty),
+                "outbox traffic past the finish cycle"
+            );
+            return Ok(Some(now));
+        }
+    }
+    debug_assert!(
+        boxes.iter().all(VecDeque::is_empty),
+        "unreplayed outbox entries at epoch end"
+    );
+    for (i, port) in gpu.ports.iter_mut().enumerate() {
+        for (ready, req) in gpu.mem.take_fills(i) {
+            port.deliver(ready, req);
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{SimpleRoundRobin, Termination};
+    use crate::traits::NullPrefetcher;
+    use gpu_common::config::GpuConfig;
+    use gpu_common::FaultPlan;
+    use gpu_kernel::{AddressPattern, Kernel};
+
+    fn strided_kernel(iters: u64) -> Kernel {
+        Kernel::builder("strided")
+            .load(AddressPattern::warp_strided(0, 128, 128 * 16, 4), &[])
+            .alu(8, &[0])
+            .iterations(iters)
+            .build()
+    }
+
+    fn gpu_with(cfg: &GpuConfig, kernel: Kernel) -> Gpu {
+        Gpu::new(
+            cfg,
+            kernel,
+            &|_| Box::new(SimpleRoundRobin::default()),
+            &|_| Box::new(NullPrefetcher),
+        )
+        .unwrap()
+    }
+
+    fn multi_sm_cfg(num_sms: usize) -> GpuConfig {
+        let mut cfg = GpuConfig::small_test();
+        cfg.core.num_sms = num_sms;
+        cfg
+    }
+
+    /// The tentpole contract: for both step modes and a spread of thread
+    /// counts (including 1, an uneven divisor, and more threads than SMs),
+    /// the epoch engine's full [`RunResult`] equals the serial engine's.
+    fn assert_epoch_equals_serial(make: impl Fn() -> Gpu, budget: Cycle) -> RunResult {
+        let mut reference = None;
+        for mode in [StepMode::Tick, StepMode::SkipAhead] {
+            let serial = make().run_with(budget, mode, Parallelism::Serial).unwrap();
+            for threads in [1usize, 2, 3, 16] {
+                let epoch = make()
+                    .run_with(budget, mode, Parallelism::EpochThreads(threads))
+                    .unwrap();
+                assert_eq!(
+                    serial, epoch,
+                    "epoch({threads}) diverged from serial in {mode} mode"
+                );
+            }
+            if let Some(prev) = &reference {
+                assert_eq!(prev, &serial, "modes diverged");
+            } else {
+                reference = Some(serial);
+            }
+        }
+        reference.unwrap()
+    }
+
+    #[test]
+    fn epoch_identical_on_memory_bound_kernel() {
+        let cfg = multi_sm_cfg(4);
+        let r = assert_epoch_equals_serial(|| gpu_with(&cfg, strided_kernel(6)), 2_000_000);
+        assert!(r.termination.is_drained());
+        assert!(r.sim.stall_cycles > 0, "kernel must actually stall");
+        assert_eq!(r.sim.instructions, 4 * 16 * 2 * 6);
+    }
+
+    #[test]
+    fn epoch_identical_with_barriers_waves_skew_and_dual_issue() {
+        let mut cfg = multi_sm_cfg(3);
+        cfg.core.waves_per_slot = 2;
+        cfg.core.launch_skew = 50;
+        cfg.core.issue_width = 2;
+        let k = || {
+            Kernel::builder("sync")
+                .load(AddressPattern::warp_strided(0, 4096, 1 << 20, 4), &[])
+                .alu(8, &[0])
+                .barrier(&[1])
+                .alu(4, &[1])
+                .iterations(4)
+                .build()
+        };
+        assert_epoch_equals_serial(|| gpu_with(&cfg, k()), 2_000_000);
+    }
+
+    #[test]
+    fn epoch_identical_under_fault_injection() {
+        let cfg = multi_sm_cfg(2);
+        let make = || {
+            let mut gpu = gpu_with(&cfg, strided_kernel(5));
+            gpu.arm_faults(
+                &FaultPlan::seeded(3)
+                    .delaying_dram_responses(0.5, 400)
+                    .exhausting_mshrs(128, 8),
+            );
+            gpu
+        };
+        let r = assert_epoch_equals_serial(make, 2_000_000);
+        assert!(r.faults.total() > 0, "faults must actually fire");
+    }
+
+    #[test]
+    fn epoch_identical_on_budget_exhaustion() {
+        // 700 is not a multiple of any small-test epoch length, so the
+        // last epoch is truncated by the budget, not aligned to it.
+        let cfg = multi_sm_cfg(4);
+        let r = assert_epoch_equals_serial(|| gpu_with(&cfg, strided_kernel(50)), 700);
+        assert_eq!(r.termination, Termination::BudgetExhausted { budget: 700 });
+        assert_eq!(r.cycles, 700);
+    }
+
+    #[test]
+    fn epoch_watchdog_fires_on_the_same_cycle() {
+        let cfg = multi_sm_cfg(3);
+        let make = || {
+            let mut gpu = gpu_with(&cfg, strided_kernel(4));
+            gpu.arm_faults(&FaultPlan::seeded(7).dropping_dram_responses(1.0));
+            gpu.set_watchdog(Some(2_000));
+            gpu
+        };
+        let cycle_of = |e: &SimError| match e {
+            SimError::WatchdogTimeout { cycle, idle_cycles, .. } => (*cycle, *idle_cycles),
+            other => panic!("expected watchdog timeout, got {other:?}"),
+        };
+        let serial = cycle_of(&make().run(2_000_000).expect_err("must deadlock"));
+        for mode in [StepMode::Tick, StepMode::SkipAhead] {
+            for threads in [1usize, 2, 3] {
+                let err = make()
+                    .run_with(2_000_000, mode, Parallelism::EpochThreads(threads))
+                    .expect_err("must deadlock");
+                assert_eq!(cycle_of(&err), serial, "{mode} epoch({threads})");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_semantics_invariant_across_epoch_lengths() {
+        // E is derived from noc.latency; watchdog and budget cycles must
+        // not depend on it. Pin both across three epoch lengths.
+        for noc_latency in [1, 3, 8] {
+            let mut cfg = multi_sm_cfg(2);
+            cfg.noc.latency = noc_latency;
+            // A full drain and a budget-capped run, all modes and thread
+            // counts, must match serial under this epoch length.
+            let r = assert_epoch_equals_serial(|| gpu_with(&cfg, strided_kernel(3)), 2_000_000);
+            assert!(r.termination.is_drained());
+            let b = assert_epoch_equals_serial(|| gpu_with(&cfg, strided_kernel(50)), 997);
+            assert_eq!(b.termination, Termination::BudgetExhausted { budget: 997 });
+            // Watchdog: same firing cycle as serial at this epoch length.
+            let make = || {
+                let mut gpu = gpu_with(&cfg, strided_kernel(3));
+                gpu.arm_faults(&FaultPlan::seeded(7).dropping_dram_responses(1.0));
+                gpu.set_watchdog(Some(1_500));
+                gpu
+            };
+            let cycle_of = |e: &SimError| match e {
+                SimError::WatchdogTimeout { cycle, idle_cycles, .. } => (*cycle, *idle_cycles),
+                other => panic!("expected watchdog timeout, got {other:?}"),
+            };
+            let serial = cycle_of(&make().run(2_000_000).expect_err("must deadlock"));
+            let epoch = cycle_of(
+                &make()
+                    .run_with(2_000_000, StepMode::Tick, Parallelism::EpochThreads(2))
+                    .expect_err("must deadlock"),
+            );
+            assert_eq!(epoch, serial, "noc.latency = {noc_latency}");
+        }
+    }
+
+    #[test]
+    fn serial_parallelism_is_run_with_mode() {
+        let cfg = multi_sm_cfg(2);
+        let a = gpu_with(&cfg, strided_kernel(4))
+            .run_with(2_000_000, StepMode::Tick, Parallelism::Serial)
+            .unwrap();
+        let b = gpu_with(&cfg, strided_kernel(4))
+            .run_with_mode(2_000_000, StepMode::Tick)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallelism_from_threads_and_labels() {
+        assert_eq!(Parallelism::from_threads(0), Parallelism::Serial);
+        assert_eq!(Parallelism::from_threads(1), Parallelism::EpochThreads(1));
+        assert_eq!(Parallelism::from_threads(8), Parallelism::EpochThreads(8));
+        assert_eq!(Parallelism::default(), Parallelism::Serial);
+        assert_eq!(Parallelism::Serial.label(), "serial");
+        assert_eq!(Parallelism::EpochThreads(4).label(), "epoch(4)");
+    }
+}

@@ -1,5 +1,13 @@
 //! The whole GPU: N SMs over a shared memory system, plus the cycle loop.
+//!
+//! Per-SM state (core, LSU, L1) and the shared memory system (NoC pipes,
+//! L2 banks, DRAM, fault plan) are owned separately; every cross-boundary
+//! message flows through an [`SmPort`]. The serial loop routes each port
+//! every cycle; the epoch engine ([`crate::epoch`]) batches E cycles of
+//! port traffic per barrier — byte-identically (see `DESIGN.md` §14).
 
+use crate::epoch::Parallelism;
+use crate::port::SmPort;
 use crate::sm::Sm;
 use crate::traits::{Prefetcher, WarpScheduler};
 use gpu_common::config::GpuConfig;
@@ -171,15 +179,17 @@ impl RunResult {
 
 /// A GPU instance ready to run one kernel under one policy combination.
 pub struct Gpu {
-    cfg: GpuConfig,
-    sms: Vec<Sm>,
-    mem: MemorySystem,
-    kernel: Arc<Kernel>,
-    now: Cycle,
+    pub(crate) cfg: GpuConfig,
+    pub(crate) sms: Vec<Sm>,
+    /// One message-queue boundary per SM (same index as `sms`).
+    pub(crate) ports: Vec<SmPort>,
+    pub(crate) mem: MemorySystem,
+    pub(crate) kernel: Arc<Kernel>,
+    pub(crate) now: Cycle,
     /// Forward-progress watchdog window (`None` disables the watchdog).
-    watchdog_window: Option<Cycle>,
-    wd_last_count: u64,
-    wd_last_cycle: Cycle,
+    pub(crate) watchdog_window: Option<Cycle>,
+    pub(crate) wd_last_count: u64,
+    pub(crate) wd_last_cycle: Cycle,
 }
 
 impl Gpu {
@@ -205,6 +215,7 @@ impl Gpu {
             .collect();
         Ok(Gpu {
             sms,
+            ports: (0..cfg.core.num_sms).map(|_| SmPort::new()).collect(),
             mem: MemorySystem::new(cfg)?,
             kernel,
             now: 0,
@@ -237,18 +248,45 @@ impl Gpu {
         self.now
     }
 
-    /// Advances the whole GPU by one cycle.
+    /// Advances the whole GPU by one cycle: every SM ticks against its
+    /// port, then the ports are routed through the shared memory system.
     pub fn step(&mut self) {
-        for sm in &mut self.sms {
-            sm.tick(self.now, &mut self.mem);
+        for (sm, port) in self.sms.iter_mut().zip(&mut self.ports) {
+            sm.tick(self.now, port);
         }
-        self.mem.tick(self.now);
+        self.route(self.now);
         self.now += 1;
     }
 
-    /// `true` when every SM retired all warps and the memory system drained.
+    /// Exchanges all port traffic with the shared memory system for cycle
+    /// `now`, in fixed SM-id order: outboxes replay into the NoC (each
+    /// request at the cycle its SM submitted it), latency sums flush, the
+    /// memory system ticks once, and matured responses re-home into the
+    /// inboxes with their ready cycles intact. The epoch barrier runs this
+    /// same exchange once per cycle of the epoch, so serial and epoch
+    /// engines drive the memory system through identical sequences.
+    pub(crate) fn route(&mut self, now: Cycle) {
+        for (i, port) in self.ports.iter_mut().enumerate() {
+            for (at, req) in port.take_outbox() {
+                self.mem.submit(i, req, at);
+            }
+            let (total, count) = port.take_latencies();
+            self.mem.add_load_latencies(total, count);
+        }
+        self.mem.tick(now);
+        for (i, port) in self.ports.iter_mut().enumerate() {
+            for (ready, req) in self.mem.take_fills(i) {
+                port.deliver(ready, req);
+            }
+        }
+    }
+
+    /// `true` when every SM retired all warps, every port is empty on both
+    /// sides, and the memory system drained.
     pub fn is_finished(&self) -> bool {
-        self.sms.iter().all(Sm::is_finished) && self.mem.is_idle()
+        self.sms.iter().all(Sm::is_finished)
+            && self.ports.iter().all(SmPort::is_idle)
+            && self.mem.is_idle()
     }
 
     /// Runs to completion or `max_cycles`, returning aggregated results.
@@ -288,6 +326,31 @@ impl Gpu {
         }
     }
 
+    /// Like [`Gpu::run_with_mode`], additionally selecting the execution
+    /// engine: [`Parallelism::Serial`] is `run_with_mode` verbatim, while
+    /// [`Parallelism::EpochThreads`] shards the SMs across a scoped thread
+    /// pool and exchanges port traffic at epoch barriers. Results are
+    /// byte-identical across engines and thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Gpu::run`]'s errors, at exactly the same cycles; the epoch
+    /// engine can additionally report [`SimError::InvariantViolation`] if a
+    /// worker thread dies.
+    pub fn run_with(
+        self,
+        max_cycles: Cycle,
+        mode: StepMode,
+        parallelism: Parallelism,
+    ) -> SimResult<RunResult> {
+        match parallelism {
+            Parallelism::Serial => self.run_with_mode(max_cycles, mode),
+            Parallelism::EpochThreads(threads) => {
+                crate::epoch::run_epochs(self, max_cycles, mode, threads)
+            }
+        }
+    }
+
     /// The skip-ahead core: when every SM is provably silent at `self.now`,
     /// jump the clock to the next interesting cycle — the minimum over
     /// per-warp scoreboard releases, NoC deliveries, L2/DRAM events and the
@@ -299,7 +362,7 @@ impl Gpu {
     /// # Errors
     ///
     /// [`SimError::WatchdogTimeout`] at the same cycle tick mode reports it.
-    fn try_skip(&mut self, max_cycles: Cycle) -> SimResult<()> {
+    pub(crate) fn try_skip(&mut self, max_cycles: Cycle) -> SimResult<()> {
         /// Watchdog checkpoints sit at multiples of this stride.
         const WD_STRIDE: Cycle = 0x100;
         if self.now >= max_cycles || self.is_finished() {
@@ -315,6 +378,11 @@ impl Gpu {
         for sm in &self.sms {
             if let Some(c) = sm.next_event(n0) {
                 target = target.min(c);
+            }
+        }
+        for port in &self.ports {
+            if let Some(c) = port.next_fill_ready() {
+                target = target.min(c.max(n0));
             }
         }
         if let Some(c) = self.mem.next_event(n0) {
@@ -409,7 +477,7 @@ impl Gpu {
         }
     }
 
-    fn finish(self, budget: Cycle) -> SimResult<RunResult> {
+    pub(crate) fn finish(self, budget: Cycle) -> SimResult<RunResult> {
         let termination = if self.is_finished() {
             // The ledger only balances at drain; a budget-capped run still
             // legitimately has requests in flight.

@@ -21,18 +21,26 @@
 //! The cycle loop supports two clock-advance strategies ([`StepMode`]):
 //! the reference tick-every-cycle loop and an opt-in skip-ahead mode that
 //! jumps over provably silent spans with byte-identical results
-//! (DESIGN.md §13).
+//! (DESIGN.md §13). Orthogonally, [`Parallelism`] selects the execution
+//! engine: the serial reference loop, or the epoch engine ([`epoch`]) that
+//! shards SMs across a scoped thread pool and exchanges [`port`] traffic
+//! at deterministic barriers — again with byte-identical results
+//! (DESIGN.md §14).
 
 #![deny(missing_docs)]
 
 pub mod codec;
+pub mod epoch;
 pub mod gpu;
 pub mod lsu;
+pub mod port;
 pub mod sm;
 pub mod trace;
 pub mod traits;
 
+pub use epoch::Parallelism;
 pub use gpu::{Gpu, RunResult, StepMode, Termination, DEFAULT_WATCHDOG_WINDOW};
+pub use port::SmPort;
 pub use sm::Sm;
 pub use traits::{
     DemandAccess, L1Event, L1Outcome, PrefetchRequest, Prefetcher, ReadyWarp, SchedCtx,

@@ -13,6 +13,7 @@
 //! 4. **Drain** — L1 misses/stores/prefetches stream to the interconnect.
 
 use crate::lsu::{Lsu, MemOp};
+use crate::port::SmPort;
 use crate::trace::{IssueKind, TraceBuffer, TraceEvent};
 use crate::traits::{
     DemandAccess, PrefetchRequest, Prefetcher, ReadyWarp, SchedCtx, WarpScheduler,
@@ -24,7 +25,6 @@ use gpu_common::{Cycle, LineAddr, SmId, StallReason, StalledWarp, WarpId};
 use gpu_kernel::{Kernel, Op, PatternSampler, WarpProgram, WarpProgress};
 use gpu_mem::coalesce::coalesce;
 use gpu_mem::l1::L1Cache;
-use gpu_mem::memsys::MemorySystem;
 use gpu_mem::request::MemRequest;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -112,19 +112,21 @@ impl Sm {
             && self.l1.outgoing_len() == 0
     }
 
-    /// Executes one cycle. `mem` is the shared off-core memory system.
-    pub fn tick(&mut self, now: Cycle, mem: &mut MemorySystem) {
-        self.apply_fills(now, mem);
-        self.lsu_stage(now, mem);
+    /// Executes one cycle. `port` is this SM's boundary to the shared
+    /// memory system: fills are popped from its inbox, outgoing requests
+    /// are queued into its outbox (the cycle engine routes both).
+    pub fn tick(&mut self, now: Cycle, port: &mut SmPort) {
+        self.apply_fills(now, port);
+        self.lsu_stage(now, port);
         // Dual-issue SMs (Fermi+) run one scheduler pass per issue slot.
         for _ in 0..self.cfg.core.issue_width.max(1) {
             self.issue_stage(now);
         }
-        self.drain_stage(now, mem);
+        self.drain_stage(now, port);
     }
 
-    fn apply_fills(&mut self, now: Cycle, mem: &mut MemorySystem) {
-        for req in mem.drain_fills(self.id.index(), now) {
+    fn apply_fills(&mut self, now: Cycle, port: &mut SmPort) {
+        for req in port.drain_fills(now) {
             self.energy.l1_accesses += 1;
             let fill = self.l1.fill(req.line, now);
             self.record(TraceEvent::Fill {
@@ -134,12 +136,12 @@ impl Sm {
             });
             for done in self.lsu.on_fill(&fill, now) {
                 self.complete_load(done.warp, done.body_idx, done.iter, done.ready_at);
-                mem.note_load_latency(done.ready_at.saturating_sub(done.issue_cycle));
+                port.note_load_latency(done.ready_at.saturating_sub(done.issue_cycle));
             }
         }
     }
 
-    fn lsu_stage(&mut self, now: Cycle, mem: &mut MemorySystem) {
+    fn lsu_stage(&mut self, now: Cycle, port: &mut SmPort) {
         let before = self.l1.stats().accesses;
         let activity = self.lsu.process_one(&mut self.l1, now);
         if self.l1.stats().accesses != before {
@@ -148,7 +150,7 @@ impl Sm {
         for done in &activity.completions {
             self.complete_load(done.warp, done.body_idx, done.iter, done.ready_at);
             // Pure-hit loads also contribute to Fig. 13's average latency.
-            mem.note_load_latency(done.ready_at.saturating_sub(done.issue_cycle));
+            port.note_load_latency(done.ready_at.saturating_sub(done.issue_cycle));
         }
         let Some(ev) = activity.head_event else {
             return;
@@ -416,9 +418,9 @@ impl Sm {
         }
     }
 
-    fn drain_stage(&mut self, now: Cycle, mem: &mut MemorySystem) {
+    fn drain_stage(&mut self, now: Cycle, port: &mut SmPort) {
         for req in self.l1.drain_outgoing(self.cfg.noc.requests_per_cycle) {
-            mem.submit(self.id.index(), req, now);
+            port.submit(req, now);
         }
     }
 
@@ -569,6 +571,19 @@ impl Sm {
         let slots = self.cfg.core.issue_width.max(1) as u64 * delta;
         self.stats.stall_cycles += slots;
         self.stats.stall_dependency += slots;
+    }
+
+    /// Reverts the fixed stall accounting of `delta` trailing cycles that
+    /// an epoch worker executed past the run's true finish cycle. A cycle
+    /// ticked while the SM is finished with an empty inbox does exactly
+    /// `issue_width` empty issue slots (one `stall_cycles` and one
+    /// `stall_dependency` each — the inverse of [`Sm::note_skipped`]) and
+    /// touches nothing else, so subtracting those slots restores the state
+    /// the serial engine would have stopped at.
+    pub(crate) fn rewind_overrun(&mut self, delta: Cycle) {
+        let slots = self.cfg.core.issue_width.max(1) as u64 * delta;
+        self.stats.stall_cycles = self.stats.stall_cycles.saturating_sub(slots);
+        self.stats.stall_dependency = self.stats.stall_dependency.saturating_sub(slots);
     }
 }
 
